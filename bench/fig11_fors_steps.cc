@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 11: FORS_Sign optimization steps — Baseline, MMTP, +FS
+ * (tree fusion / Relax-FORS), +PTX, +HybridME, +FreeBank — with the
+ * per-step and cumulative speedups.
+ */
+
+#include "bench_util.hh"
+
+using namespace herosign;
+using namespace herosign::bench;
+using core::EngineConfig;
+using core::KernelKind;
+using sphincs::Params;
+
+int
+main(int argc, char **argv)
+{
+    Options o = Options::parse(argc, argv);
+    EngineCache cache;
+    const auto dev = gpu::DeviceProps::rtx4090();
+
+    struct PaperCol
+    {
+        const Params *p;
+        double kops[6]; // baseline..+FreeBank
+    };
+    const PaperCol paper[] = {
+        {&Params::sphincs128f(),
+         {442.9, 702.7, 721.8, 752.0, 915.9, 946.3}},
+        {&Params::sphincs192f(),
+         {128.9, 174.1, 178.6, 206.4, 219.1, 222.0}},
+        {&Params::sphincs256f(),
+         {66.6, 73.5, 91.9, 97.8, 106.7, 116.4}},
+    };
+
+    const EngineConfig configs[] = {
+        EngineConfig::baseline(),   EngineConfig::stepMmtp(),
+        EngineConfig::stepFuse(),   EngineConfig::stepPtx(),
+        EngineConfig::stepHybridMem(),
+        EngineConfig::stepFreeBank(),
+    };
+    const char *labels[] = {"Baseline", "MMTP", "+FS", "+PTX",
+                            "+HybridME", "+FreeBank"};
+
+    for (const auto &col : paper) {
+        TextTable t({"Step", "KOPS", "Step x", "Cumulative x",
+                     "paper KOPS", "paper Cum x"});
+        double prev = 0, base = 0;
+        for (int i = 0; i < 6; ++i) {
+            auto &engine = cache.get(*col.p, dev, configs[i]);
+            const double kops =
+                kernelKops(engine, KernelKind::ForsSign);
+            if (i == 0) {
+                base = kops;
+                prev = kops;
+            }
+            t.addRow({labels[i], fmtF(kops, 1),
+                      i ? fmtX(kops / prev) : "1.00x",
+                      fmtX(kops / base), fmtF(col.kops[i], 1),
+                      fmtX(col.kops[i] / col.kops[0])});
+            prev = kops;
+        }
+        emit(o, std::string("Figure 11: FORS_Sign steps, ") +
+                    col.p->name + " (block = 1024)",
+             t);
+    }
+    return 0;
+}

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Figure 12: end-to-end performance (KOPS) and kernel launch latency
+ * (us) for Baseline and HERO-Sign, each with and without CUDA-Graph
+ * batching, at block = 1024 on the RTX 4090.
+ */
+
+#include "bench_util.hh"
+
+using namespace herosign;
+using namespace herosign::bench;
+using core::EngineConfig;
+using sphincs::Params;
+
+int
+main(int argc, char **argv)
+{
+    Options o = Options::parse(argc, argv);
+    EngineCache cache;
+    const auto dev = gpu::DeviceProps::rtx4090();
+
+    struct PaperRow
+    {
+        const Params *p;
+        double base_kops, base_graph_kops, hero_kops,
+            hero_graph_kops;
+        double base_lat, hero_lat, hero_graph_lat;
+    };
+    const PaperRow paper[] = {
+        {&Params::sphincs128f(), 93.17, 97.54, 116.48, 119.47, 4270.0,
+         308.06, 49.41},
+        {&Params::sphincs192f(), 51.18, 56.50, 60.94, 65.43, 4439.0,
+         2722.75, 42.97},
+        {&Params::sphincs256f(), 23.93, 25.74, 31.28, 33.88, 7102.0,
+         5025.00, 32.10},
+    };
+
+    auto configWithGraph = [](EngineConfig c, bool graph) {
+        c.useGraph = graph;
+        c.name += graph ? "+graph" : "-nograph";
+        return c;
+    };
+
+    TextTable perf({"Set", "Base", "Base+G", "HERO", "HERO+G",
+                    "Speedup(+G)", "paper Base", "paper HERO+G",
+                    "paper Speedup"});
+    TextTable lat({"Set", "Base us", "HERO us", "HERO+G us",
+                   "Reduction", "paper Base", "paper HERO+G",
+                   "paper Reduction"});
+
+    for (const auto &row : paper) {
+        auto &bn = cache.get(*row.p, dev,
+                             configWithGraph(EngineConfig::baseline(),
+                                             false));
+        auto &bg = cache.get(*row.p, dev,
+                             configWithGraph(EngineConfig::baseline(),
+                                             true));
+        auto &hn = cache.get(*row.p, dev,
+                             configWithGraph(EngineConfig::hero(),
+                                             false));
+        auto &hg = cache.get(*row.p, dev,
+                             configWithGraph(EngineConfig::hero(),
+                                             true));
+        auto rbn = bn.signBatchTiming(1024);
+        auto rbg = bg.signBatchTiming(1024);
+        auto rhn = hn.signBatchTiming(1024);
+        auto rhg = hg.signBatchTiming(1024);
+
+        perf.addRow({row.p->name, fmtF(rbn.kops, 2), fmtF(rbg.kops, 2),
+                     fmtF(rhn.kops, 2), fmtF(rhg.kops, 2),
+                     fmtX(rhg.kops / rbn.kops), fmtF(row.base_kops, 2),
+                     fmtF(row.hero_graph_kops, 2),
+                     fmtX(row.hero_graph_kops / row.base_kops)});
+        lat.addRow({row.p->name, fmtF(rbn.launchLatencyUs, 1),
+                    fmtF(rhn.launchLatencyUs, 1),
+                    fmtF(rhg.launchLatencyUs, 1),
+                    fmtX(rbn.launchLatencyUs / rhg.launchLatencyUs, 1),
+                    fmtF(row.base_lat, 1), fmtF(row.hero_graph_lat, 1),
+                    fmtX(row.base_lat / row.hero_graph_lat, 1)});
+    }
+    emit(o, "Figure 12a: end-to-end throughput (KOPS, block = 1024)",
+         perf);
+    emit(o, "Figure 12b: kernel launch latency (us)", lat,
+         "Shape: graphs cut launch latency by about two orders of "
+         "magnitude (paper: up to 221.3x).");
+    return 0;
+}

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * google-benchmark micro benches for the hash substrate: native vs
+ * PTX-flavoured SHA-256, HMAC and MGF1.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/random.hh"
+#include "hash/hmac.hh"
+#include "hash/mgf1.hh"
+#include "hash/sha256.hh"
+#include "hash/sha512.hh"
+
+using namespace herosign;
+
+namespace
+{
+
+void
+BM_Sha256Native(benchmark::State &state)
+{
+    Rng rng(1);
+    ByteVec data = rng.bytes(state.range(0));
+    for (auto _ : state) {
+        auto d = Sha256::digest(data, Sha256Variant::Native);
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetBytesProcessed(state.iterations() * data.size());
+}
+
+void
+BM_Sha256Ptx(benchmark::State &state)
+{
+    Rng rng(1);
+    ByteVec data = rng.bytes(state.range(0));
+    for (auto _ : state) {
+        auto d = Sha256::digest(data, Sha256Variant::Ptx);
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetBytesProcessed(state.iterations() * data.size());
+}
+
+void
+BM_Sha512(benchmark::State &state)
+{
+    Rng rng(1);
+    ByteVec data = rng.bytes(state.range(0));
+    for (auto _ : state) {
+        auto d = Sha512::digest(data);
+        benchmark::DoNotOptimize(d);
+    }
+    state.SetBytesProcessed(state.iterations() * data.size());
+}
+
+void
+BM_HmacSha256(benchmark::State &state)
+{
+    Rng rng(2);
+    ByteVec key = rng.bytes(32);
+    ByteVec msg = rng.bytes(state.range(0));
+    for (auto _ : state) {
+        auto d = HmacSha256::mac(key, msg);
+        benchmark::DoNotOptimize(d);
+    }
+}
+
+void
+BM_Mgf1(benchmark::State &state)
+{
+    Rng rng(3);
+    ByteVec seed = rng.bytes(64);
+    ByteVec out(state.range(0));
+    for (auto _ : state) {
+        mgf1Sha256(out, seed);
+        benchmark::DoNotOptimize(out.data());
+    }
+}
+
+} // namespace
+
+BENCHMARK(BM_Sha256Native)->Arg(64)->Arg(576)->Arg(4096);
+BENCHMARK(BM_Sha256Ptx)->Arg(64)->Arg(576)->Arg(4096);
+BENCHMARK(BM_Sha512)->Arg(128)->Arg(4096);
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
+BENCHMARK(BM_Mgf1)->Arg(34)->Arg(49);

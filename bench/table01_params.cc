@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table I: the SPHINCS+-f parameter sets, plus the derived quantities
+ * the paper quotes in the text (hypertree leaves, FORS leaves, hashes
+ * per wots_gen_leaf, signature sizes).
+ */
+
+#include "bench_util.hh"
+#include "sphincs/params.hh"
+
+using namespace herosign;
+using namespace herosign::bench;
+using sphincs::Params;
+
+int
+main(int argc, char **argv)
+{
+    Options o = Options::parse(argc, argv);
+
+    TextTable t({"Scheme", "n", "h", "d", "log(t)", "k", "w",
+                 "sig bytes", "HT leaves", "FORS leaves",
+                 "hash/wots_leaf"});
+    for (const Params &p : Params::all()) {
+        t.addRow({p.name, std::to_string(p.n),
+                  std::to_string(p.fullHeight),
+                  std::to_string(p.layers),
+                  std::to_string(p.forsHeight),
+                  std::to_string(p.forsTrees), std::to_string(p.wotsW),
+                  std::to_string(p.sigBytes()),
+                  std::to_string(p.layers * p.treeLeaves()),
+                  std::to_string(p.forsTotalLeaves()),
+                  std::to_string(p.hashesPerWotsLeaf())});
+    }
+    emit(o, "Table I: SPHINCS+-f parameter sets", t,
+         "Paper anchors: 17088-byte 128f signatures; 176/176/272 "
+         "hypertree leaves; 2112/8448/17920 FORS leaves; 560/816/1072 "
+         "hashes per wots_gen_leaf.");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table IV: Auto Tree Tuning search results — shared-memory
+ * utilization, thread utilization and the fused-set count F — plus
+ * the top of the candidate set the search produced.
+ */
+
+#include "bench_util.hh"
+#include "core/tuning.hh"
+
+using namespace herosign;
+using namespace herosign::bench;
+using core::autoTreeTuning;
+using core::treeTuningSearch;
+using core::TuningInputs;
+using sphincs::Params;
+
+int
+main(int argc, char **argv)
+{
+    Options o = Options::parse(argc, argv);
+    const auto dev = gpu::DeviceProps::rtx4090();
+
+    struct PaperRow
+    {
+        const Params *p;
+        double smem, threads;
+        unsigned f;
+    };
+    const PaperRow paper[] = {
+        {&Params::sphincs128f(), 0.6875, 0.6875, 3},
+        {&Params::sphincs192f(), 0.75, 0.75, 2},
+    };
+
+    TextTable t({"Set", "Smem Util", "Thread Util", "F", "T_set",
+                 "Ntree", "sync", "relax", "paper Smem",
+                 "paper Thread", "paper F"});
+    for (const auto &row : paper) {
+        auto best = autoTreeTuning(*row.p, dev);
+        t.addRow({row.p->name, fmtF(best.smemUtil, 4),
+                  fmtF(best.threadUtil, 4),
+                  std::to_string(best.fusedSets),
+                  std::to_string(best.threadsPerSet),
+                  std::to_string(best.treesPerSet),
+                  fmtF(best.syncPoints, 1), best.relax ? "yes" : "no",
+                  fmtF(row.smem, 4), fmtF(row.threads, 4),
+                  std::to_string(row.f)});
+    }
+    // 256f has no Table IV row; report the Relax-FORS result too.
+    auto best256 = autoTreeTuning(Params::sphincs256f(), dev);
+    t.addRow({"SPHINCS+-256f", fmtF(best256.smemUtil, 4),
+              fmtF(best256.threadUtil, 4),
+              std::to_string(best256.fusedSets),
+              std::to_string(best256.threadsPerSet),
+              std::to_string(best256.treesPerSet),
+              fmtF(best256.syncPoints, 1),
+              best256.relax ? "yes" : "no", "-", "-", "-"});
+    emit(o, "Table IV: Tree Tuning search results (RTX 4090)", t);
+
+    // The near-optimal candidate set for 128f (Algorithm 1 output).
+    TuningInputs in;
+    in.forsTrees = 33;
+    in.forsHeight = 6;
+    in.n = 16;
+    in.smemPerBlock = 48 * 1024;
+    auto cands = treeTuningSearch(in);
+    TextTable c({"rank", "T_set", "Ntree", "F", "U_T", "U_S", "sync"});
+    for (size_t i = 0; i < cands.size() && i < 8; ++i) {
+        const auto &x = cands[i];
+        c.addRow({std::to_string(i + 1),
+                  std::to_string(x.threadsPerSet),
+                  std::to_string(x.treesPerSet),
+                  std::to_string(x.fusedSets), fmtF(x.threadUtil, 4),
+                  fmtF(x.smemUtil, 4), fmtF(x.syncPoints, 1)});
+    }
+    emit(o, "Algorithm 1 candidate set (128f, top 8)", c);
+    return 0;
+}

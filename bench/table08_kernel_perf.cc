@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Table VIII: per-kernel performance comparison between the baseline
+ * and HERO-Sign at block = 1024 — KOPS, occupancy, compute and memory
+ * throughput, with the paper's values alongside.
+ */
+
+#include "bench_util.hh"
+
+using namespace herosign;
+using namespace herosign::bench;
+using core::EngineConfig;
+using core::KernelKind;
+using sphincs::Params;
+
+int
+main(int argc, char **argv)
+{
+    Options o = Options::parse(argc, argv);
+    EngineCache cache;
+    const auto dev = gpu::DeviceProps::rtx4090();
+
+    struct PaperRow
+    {
+        const char *kernel;
+        double base_kops, hero_kops;
+        double base_occ, hero_occ;
+    };
+    struct PaperSet
+    {
+        const Params *p;
+        PaperRow rows[3];
+    };
+    const PaperSet paper[] = {
+        {&Params::sphincs128f(),
+         {{"FORS_Sign", 442.9, 946.3, 27.09, 36.02},
+          {"TREE_Sign", 125.2, 157.7, 23.65, 23.88},
+          {"WOTS+_Sign", 2493.1, 4915.7, 42.36, 46.54}}},
+        {&Params::sphincs192f(),
+         {{"FORS_Sign", 128.9, 222.0, 32.74, 47.05},
+          {"TREE_Sign", 88.2, 93.6, 23.83, 23.87},
+          {"WOTS+_Sign", 1457.6, 2464.9, 31.44, 35.09}}},
+        {&Params::sphincs256f(),
+         {{"FORS_Sign", 66.6, 116.4, 32.60, 63.76},
+          {"TREE_Sign", 36.4, 44.9, 18.53, 62.43},
+          {"WOTS+_Sign", 776.8, 1570.9, 35.37, 35.47}}},
+    };
+    const KernelKind kinds[] = {KernelKind::ForsSign,
+                                KernelKind::TreeSign,
+                                KernelKind::WotsSign};
+
+    TextTable t({"Set", "Kernel", "Base KOPS", "HERO KOPS", "Speedup",
+                 "paper Speedup", "Base Occ%", "HERO Occ%",
+                 "HERO Cmp%", "HERO Mem%"});
+    for (const auto &set : paper) {
+        auto &base = cache.get(*set.p, dev, EngineConfig::baseline());
+        auto &hero = cache.get(*set.p, dev, EngineConfig::hero());
+        for (int i = 0; i < 3; ++i) {
+            const double bk = kernelKops(base, kinds[i]);
+            const double hk = kernelKops(hero, kinds[i]);
+            auto bt = base.kernelTimingAt(kinds[i], 1024);
+            auto ht = hero.kernelTimingAt(kinds[i], 1024);
+            t.addRow({set.p->name, set.rows[i].kernel, fmtF(bk, 1),
+                      fmtF(hk, 1), fmtX(hk / bk),
+                      fmtX(set.rows[i].hero_kops /
+                           set.rows[i].base_kops),
+                      fmtF(100 * bt.occupancy, 2),
+                      fmtF(100 * ht.occupancy, 2),
+                      fmtF(ht.computeThroughputPct, 1),
+                      fmtF(ht.memoryThroughputPct, 1)});
+        }
+        t.addSeparator();
+    }
+    emit(o, "Table VIII: kernel performance, baseline vs HERO-Sign "
+            "(block = 1024, RTX 4090)",
+         t);
+    return 0;
+}

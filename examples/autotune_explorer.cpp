@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Auto-tuning explorer: runs the Tree Tuning search (Algorithm 1)
+ * for every parameter set on every GPU platform, printing the chosen
+ * configuration and the near-optimal candidate set — the workflow of
+ * paper Fig. 1's tuner box.
+ *
+ *   $ ./autotune_explorer [set]   (e.g. 128f; default: all)
+ */
+
+#include <iostream>
+#include <string>
+
+#include "common/table.hh"
+#include "core/tuning.hh"
+
+using namespace herosign;
+using core::autoTreeTuning;
+using core::treeTuningSearch;
+using core::TuningInputs;
+using sphincs::Params;
+
+int
+main(int argc, char **argv)
+{
+    std::vector<Params> sets;
+    if (argc > 1)
+        sets.push_back(Params::byName(argv[1]));
+    else
+        sets = Params::all();
+
+    for (const Params &p : sets) {
+        std::cout << "=== " << p.name << " (k=" << p.forsTrees
+                  << ", t=" << p.forsLeaves() << ", n=" << p.n
+                  << ") ===\n";
+        TextTable t({"GPU", "Smem budget KB", "T_set", "Ntree", "F",
+                     "U_T", "U_S", "sync", "relax"});
+        for (const auto &dev : gpu::DeviceProps::allPlatforms()) {
+            auto best = autoTreeTuning(p, dev);
+            const size_t budget =
+                std::min(dev.staticSmemPerBlock,
+                         dev.maxDynamicSmemPerBlock);
+            t.addRow({dev.name, std::to_string(budget / 1024),
+                      std::to_string(best.threadsPerSet),
+                      std::to_string(best.treesPerSet),
+                      std::to_string(best.fusedSets),
+                      fmtF(best.threadUtil, 3), fmtF(best.smemUtil, 3),
+                      fmtF(best.syncPoints, 1),
+                      best.relax ? "yes" : "no"});
+        }
+        std::cout << t.render() << "\n";
+
+        // Show the whole candidate set on the RTX 4090 for insight.
+        TuningInputs in;
+        in.forsTrees = p.forsTrees;
+        in.forsHeight = p.forsHeight;
+        in.n = p.n;
+        in.smemPerBlock = 48 * 1024;
+        const size_t tree_bytes =
+            static_cast<size_t>(p.forsLeaves()) * p.n;
+        in.relax = tree_bytes >= 16 * 1024;
+        auto cands = treeTuningSearch(in);
+        std::cout << "RTX 4090 candidate set (" << cands.size()
+                  << " configurations):\n";
+        TextTable c({"T_set", "Ntree", "F", "U_T", "U_S", "sync"});
+        for (const auto &x : cands) {
+            c.addRow({std::to_string(x.threadsPerSet),
+                      std::to_string(x.treesPerSet),
+                      std::to_string(x.fusedSets),
+                      fmtF(x.threadUtil, 3), fmtF(x.smemUtil, 3),
+                      fmtF(x.syncPoints, 1)});
+        }
+        std::cout << c.render() << "\n";
+    }
+    return 0;
+}

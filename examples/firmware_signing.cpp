@@ -1,0 +1,88 @@
+/**
+ * @file
+ * IoT firmware signing: SPHINCS+-256f (highest security level) signs
+ * a firmware image; the device side verifies and detects tampering —
+ * the long-lived-signature use case hash-based schemes target.
+ *
+ *   $ ./firmware_signing [firmware_kib]
+ */
+
+#include <chrono>
+#include <iostream>
+#include <string>
+
+#include "common/hex.hh"
+#include "common/random.hh"
+#include "core/engine.hh"
+#include "hash/sha256.hh"
+#include "sphincs/sphincs.hh"
+
+using namespace herosign;
+using core::EngineConfig;
+using core::SignEngine;
+using sphincs::Params;
+using sphincs::SphincsPlus;
+
+int
+main(int argc, char **argv)
+{
+    const size_t kib =
+        argc > 1 ? std::stoul(argv[1]) : 256; // firmware size
+
+    const Params &params = Params::sphincs256f();
+    SphincsPlus scheme(params);
+
+    // Vendor side: key generation (done once, offline).
+    Rng rng(7);
+    auto kp = scheme.keygen(rng);
+    std::cout << "vendor key: pk = "
+              << hexEncode(ByteSpan(kp.pk.pkRoot.data(), 8))
+              << "... (" << params.pkBytes() << " bytes)\n";
+
+    // A synthetic firmware image; in practice the image is hashed
+    // and the digest is signed.
+    ByteVec firmware = rng.bytes(kib * 1024);
+    auto digest = Sha256::digest(firmware);
+    ByteVec msg(digest.begin(), digest.end());
+
+    // Sign on the simulated GPU (build-server scenario: thousands of
+    // per-device firmware images per release).
+    SignEngine engine(params, gpu::DeviceProps::rtx4090(),
+                      EngineConfig::hero());
+    auto t0 = std::chrono::steady_clock::now();
+    auto outcome = engine.sign(msg, kp.sk);
+    auto t1 = std::chrono::steady_clock::now();
+    std::cout << "signed " << kib << " KiB firmware ("
+              << params.sigBytes() << "-byte signature, "
+              << std::chrono::duration<double, std::milli>(t1 - t0)
+                     .count()
+              << " ms host time)\n";
+
+    // Device side: verify the genuine image.
+    auto device_digest = Sha256::digest(firmware);
+    ByteVec device_msg(device_digest.begin(), device_digest.end());
+    if (!scheme.verify(device_msg, outcome.signature, kp.pk)) {
+        std::cerr << "genuine firmware REJECTED\n";
+        return 1;
+    }
+    std::cout << "genuine firmware accepted\n";
+
+    // Tampered image: flip one byte.
+    ByteVec tampered = firmware;
+    tampered[tampered.size() / 2] ^= 0x01;
+    auto bad_digest = Sha256::digest(tampered);
+    ByteVec bad_msg(bad_digest.begin(), bad_digest.end());
+    if (scheme.verify(bad_msg, outcome.signature, kp.pk)) {
+        std::cerr << "tampered firmware ACCEPTED (bug!)\n";
+        return 1;
+    }
+    std::cout << "tampered firmware rejected\n";
+
+    // Release-scale throughput: how fast can the build server sign a
+    // fleet's worth of images?
+    auto batch = engine.signBatchTiming(1024);
+    std::cout << "simulated fleet signing: " << batch.kops
+              << " KOPS at 256f (1024 images in "
+              << batch.makespanUs / 1000.0 << " ms)\n";
+    return 0;
+}

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Small byte-manipulation helpers shared across the library: byte
+ * vectors/spans, big-endian integer packing (SPHINCS+ is specified in
+ * terms of big-endian "toByte" conversions), and constant-time
+ * comparison for secret material.
+ */
+
+#ifndef HEROSIGN_COMMON_BYTES_HH
+#define HEROSIGN_COMMON_BYTES_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+namespace herosign
+{
+
+using ByteVec = std::vector<uint8_t>;
+using ByteSpan = std::span<const uint8_t>;
+using MutByteSpan = std::span<uint8_t>;
+
+/** Store a 32-bit value big-endian into @p out. */
+inline void
+storeBe32(uint8_t *out, uint32_t v)
+{
+    out[0] = static_cast<uint8_t>(v >> 24);
+    out[1] = static_cast<uint8_t>(v >> 16);
+    out[2] = static_cast<uint8_t>(v >> 8);
+    out[3] = static_cast<uint8_t>(v);
+}
+
+/** Store a 64-bit value big-endian into @p out. */
+inline void
+storeBe64(uint8_t *out, uint64_t v)
+{
+    storeBe32(out, static_cast<uint32_t>(v >> 32));
+    storeBe32(out + 4, static_cast<uint32_t>(v));
+}
+
+/** Load a big-endian 32-bit value from @p in. */
+inline uint32_t
+loadBe32(const uint8_t *in)
+{
+    return (static_cast<uint32_t>(in[0]) << 24) |
+           (static_cast<uint32_t>(in[1]) << 16) |
+           (static_cast<uint32_t>(in[2]) << 8) |
+           static_cast<uint32_t>(in[3]);
+}
+
+/** Load a big-endian 64-bit value from @p in. */
+inline uint64_t
+loadBe64(const uint8_t *in)
+{
+    return (static_cast<uint64_t>(loadBe32(in)) << 32) | loadBe32(in + 4);
+}
+
+/**
+ * SPHINCS+ "toByte(x, y)": the y-byte big-endian encoding of x.
+ * Writes exactly @p len bytes to @p out.
+ */
+inline void
+toByte(uint8_t *out, uint64_t value, size_t len)
+{
+    for (size_t i = 0; i < len; ++i) {
+        out[len - 1 - i] = static_cast<uint8_t>(value);
+        value >>= 8;
+    }
+}
+
+/**
+ * Constant-time equality check, suitable for comparing secret-derived
+ * values. Returns true iff the two buffers have equal length and
+ * contents.
+ */
+inline bool
+ctEqual(ByteSpan a, ByteSpan b)
+{
+    if (a.size() != b.size())
+        return false;
+    uint8_t acc = 0;
+    for (size_t i = 0; i < a.size(); ++i)
+        acc |= static_cast<uint8_t>(a[i] ^ b[i]);
+    return acc == 0;
+}
+
+/** Append the contents of @p src to @p dst. */
+inline void
+append(ByteVec &dst, ByteSpan src)
+{
+    dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/** Best-effort secure wipe (not optimized away). */
+inline void
+secureZero(MutByteSpan buf)
+{
+    volatile uint8_t *p = buf.data();
+    for (size_t i = 0; i < buf.size(); ++i)
+        p[i] = 0;
+}
+
+} // namespace herosign
+
+#endif // HEROSIGN_COMMON_BYTES_HH

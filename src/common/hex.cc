@@ -1,0 +1,55 @@
+#include "common/hex.hh"
+
+#include <stdexcept>
+
+namespace herosign
+{
+
+namespace
+{
+
+int
+nibble(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+std::string
+hexEncode(ByteSpan data)
+{
+    static const char digits[] = "0123456789abcdef";
+    std::string out;
+    out.reserve(data.size() * 2);
+    for (uint8_t b : data) {
+        out.push_back(digits[b >> 4]);
+        out.push_back(digits[b & 0xf]);
+    }
+    return out;
+}
+
+ByteVec
+hexDecode(std::string_view hex)
+{
+    if (hex.size() % 2 != 0)
+        throw std::invalid_argument("hexDecode: odd-length input");
+    ByteVec out;
+    out.reserve(hex.size() / 2);
+    for (size_t i = 0; i < hex.size(); i += 2) {
+        int hi = nibble(hex[i]);
+        int lo = nibble(hex[i + 1]);
+        if (hi < 0 || lo < 0)
+            throw std::invalid_argument("hexDecode: non-hex character");
+        out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+    }
+    return out;
+}
+
+} // namespace herosign

@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Hex encoding/decoding used by tests, examples and bench output.
+ */
+
+#ifndef HEROSIGN_COMMON_HEX_HH
+#define HEROSIGN_COMMON_HEX_HH
+
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hh"
+
+namespace herosign
+{
+
+/** Encode @p data as a lowercase hex string. */
+std::string hexEncode(ByteSpan data);
+
+/**
+ * Decode a hex string (upper or lower case, no separators).
+ * @throws std::invalid_argument on odd length or non-hex characters.
+ */
+ByteVec hexDecode(std::string_view hex);
+
+} // namespace herosign
+
+#endif // HEROSIGN_COMMON_HEX_HH

@@ -1,0 +1,93 @@
+#include "common/random.hh"
+
+#include <random>
+
+namespace herosign
+{
+
+namespace
+{
+
+uint64_t
+splitMix64(uint64_t &state)
+{
+    state += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+} // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t sm = seed;
+    for (auto &s : s_)
+        s = splitMix64(sm);
+}
+
+Rng
+Rng::fromOs()
+{
+    std::random_device rd;
+    uint64_t seed = (static_cast<uint64_t>(rd()) << 32) ^ rd();
+    return Rng(seed);
+}
+
+uint64_t
+Rng::next()
+{
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+}
+
+uint64_t
+Rng::below(uint64_t bound)
+{
+    // Rejection sampling to avoid modulo bias.
+    uint64_t threshold = (0 - bound) % bound;
+    for (;;) {
+        uint64_t r = next();
+        if (r >= threshold)
+            return r % bound;
+    }
+}
+
+void
+Rng::fill(MutByteSpan out)
+{
+    size_t i = 0;
+    while (i + 8 <= out.size()) {
+        uint64_t v = next();
+        std::memcpy(out.data() + i, &v, 8);
+        i += 8;
+    }
+    if (i < out.size()) {
+        uint64_t v = next();
+        std::memcpy(out.data() + i, &v, out.size() - i);
+    }
+}
+
+ByteVec
+Rng::bytes(size_t len)
+{
+    ByteVec out(len);
+    fill(out);
+    return out;
+}
+
+} // namespace herosign

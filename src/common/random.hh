@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Deterministic and OS-seeded randomness.
+ *
+ * Key generation and benchmarks need a reproducible randomness source
+ * so experiments are rerunnable; Rng wraps a SplitMix64/xoshiro256**
+ * generator that can be seeded explicitly (tests, benches) or from the
+ * OS (examples that want fresh keys).
+ */
+
+#ifndef HEROSIGN_COMMON_RANDOM_HH
+#define HEROSIGN_COMMON_RANDOM_HH
+
+#include <cstdint>
+
+#include "common/bytes.hh"
+
+namespace herosign
+{
+
+/**
+ * Small, fast, seedable PRNG (xoshiro256** seeded via SplitMix64).
+ * Not a CSPRNG; used for reproducible experiment inputs. Use
+ * Rng::fromOs() when non-reproducible seeding is desired.
+ */
+class Rng
+{
+  public:
+    /** Construct with an explicit 64-bit seed (deterministic). */
+    explicit Rng(uint64_t seed);
+
+    /** Construct seeded from std::random_device. */
+    static Rng fromOs();
+
+    /** Next 64 random bits. */
+    uint64_t next();
+
+    /** Uniform value in [0, bound) (bound must be non-zero). */
+    uint64_t below(uint64_t bound);
+
+    /** Fill @p out with random bytes. */
+    void fill(MutByteSpan out);
+
+    /** Convenience: a fresh random byte vector of length @p len. */
+    ByteVec bytes(size_t len);
+
+  private:
+    uint64_t s_[4];
+};
+
+} // namespace herosign
+
+#endif // HEROSIGN_COMMON_RANDOM_HH

@@ -1,0 +1,143 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+
+namespace herosign
+{
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    if (row.size() != headers_.size())
+        throw std::invalid_argument("TextTable: row width mismatch");
+    rows_.push_back(std::move(row));
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.emplace_back();
+}
+
+size_t
+TextTable::rowCount() const
+{
+    size_t n = 0;
+    for (const auto &r : rows_)
+        if (!r.empty())
+            ++n;
+    return n;
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<size_t> widths(headers_.size());
+    for (size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto emit_rule = [&](std::ostringstream &os) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            os << '+' << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    auto emit_row = [&](std::ostringstream &os,
+                        const std::vector<std::string> &cells) {
+        for (size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << "| " << cell << std::string(widths[c] - cell.size() + 1,
+                                              ' ');
+        }
+        os << "|\n";
+    };
+
+    std::ostringstream os;
+    emit_rule(os);
+    emit_row(os, headers_);
+    emit_rule(os);
+    for (const auto &row : rows_) {
+        if (row.empty())
+            emit_rule(os);
+        else
+            emit_row(os, row);
+    }
+    emit_rule(os);
+    return os.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    auto esc = [](const std::string &s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += "\"\"";
+            else
+                out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    std::ostringstream os;
+    for (size_t c = 0; c < headers_.size(); ++c)
+        os << (c ? "," : "") << esc(headers_[c]);
+    os << '\n';
+    for (const auto &row : rows_) {
+        if (row.empty())
+            continue;
+        for (size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << esc(row[c]);
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+fmtF(double v, int decimals)
+{
+    std::ostringstream os;
+    os.setf(std::ios::fixed);
+    os.precision(decimals);
+    os << v;
+    return os.str();
+}
+
+std::string
+fmtX(double v, int decimals)
+{
+    return fmtF(v, decimals) + "x";
+}
+
+std::string
+fmtGrouped(uint64_t v)
+{
+    std::string digits = std::to_string(v);
+    std::string out;
+    int count = 0;
+    for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+        if (count && count % 3 == 0)
+            out.push_back(',');
+        out.push_back(*it);
+        ++count;
+    }
+    std::reverse(out.begin(), out.end());
+    return out;
+}
+
+} // namespace herosign

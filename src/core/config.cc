@@ -1,0 +1,143 @@
+#include "core/config.hh"
+
+#include <stdexcept>
+
+namespace herosign::core
+{
+
+std::string
+kernelName(KernelKind kind)
+{
+    switch (kind) {
+      case KernelKind::ForsSign: return "FORS_Sign";
+      case KernelKind::TreeSign: return "TREE_Sign";
+      case KernelKind::WotsSign: return "WOTS+_Sign";
+    }
+    return "?";
+}
+
+unsigned
+nominalRegs(KernelKind kind, const sphincs::Params &params,
+            Sha256Variant variant)
+{
+    const bool ptx = variant == Sha256Variant::Ptx;
+    switch (kind) {
+      case KernelKind::ForsSign:
+        // Table III: 64 for the native build.
+        return ptx ? 56 : 64;
+      case KernelKind::TreeSign:
+        // Table III: 128 (128f); §III-C2: 168 native / 95 PTX (256f).
+        if (params.n >= 32)
+            return ptx ? 95 : 168;
+        return ptx ? 99 : 128;
+      case KernelKind::WotsSign:
+        // Table III: 72 (128f). Larger n keeps more live state; the
+        // PTX mad chains slightly raise live ranges at n = 24
+        // (profiled behaviour behind Table V's 192f row).
+        if (params.n >= 32)
+            return ptx ? 78 : 104;
+        if (params.n >= 24)
+            return ptx ? 76 : 74;
+        return ptx ? 66 : 72;
+    }
+    throw std::logic_error("nominalRegs: bad kind");
+}
+
+double
+hashCycles(KernelKind kind, Sha256Variant variant)
+{
+    const bool ptx = variant == Sha256Variant::Ptx;
+    switch (kind) {
+      case KernelKind::ForsSign:
+        // Short-input thash streams: the prmt endian conversion and
+        // mad scheduling win (paper §III-C1).
+        return ptx ? 1240 : 1300;
+      case KernelKind::TreeSign:
+        // Long WOTS chains: the compiler's cross-iteration
+        // optimization of the native build wins per instruction.
+        return ptx ? 1175 : 1100;
+      case KernelKind::WotsSign:
+        return ptx ? 1205 : 1150;
+    }
+    throw std::logic_error("hashCycles: bad kind");
+}
+
+EngineConfig
+EngineConfig::baseline()
+{
+    EngineConfig c;
+    c.name = "TCAS-SPHINCSp";
+    c.mmtp = false;
+    c.fuse = false;
+    c.autoTune = false;
+    c.adaptivePtx = false;
+    c.hybridMem = false;
+    c.freeBank = false;
+    c.launchBounds = false;
+    c.useGraph = false;
+    c.wotsFullChains = true;
+    c.chainShiftMath = false;
+    c.forsConfig = ForsConfig{1, 1, 0, false, 1};
+    // TCAS pipelines chunks over a small stream pool but host-syncs
+    // between the component kernels of each chunk.
+    c.streams = 2;
+    c.chunkMessages = 512;
+    return c;
+}
+
+EngineConfig
+EngineConfig::hero()
+{
+    EngineConfig c;
+    c.name = "HERO-Sign";
+    return c;
+}
+
+EngineConfig
+EngineConfig::stepMmtp()
+{
+    EngineConfig c = baseline();
+    c.name = "MMTP";
+    c.mmtp = true;
+    return c;
+}
+
+EngineConfig
+EngineConfig::stepFuse()
+{
+    EngineConfig c = stepMmtp();
+    c.name = "+FS";
+    c.fuse = true;
+    c.autoTune = true;
+    return c;
+}
+
+EngineConfig
+EngineConfig::stepPtx()
+{
+    EngineConfig c = stepFuse();
+    c.name = "+PTX";
+    c.adaptivePtx = true;
+    c.launchBounds = true;
+    return c;
+}
+
+EngineConfig
+EngineConfig::stepHybridMem()
+{
+    EngineConfig c = stepPtx();
+    c.name = "+HybridME";
+    c.hybridMem = true;
+    return c;
+}
+
+EngineConfig
+EngineConfig::stepFreeBank()
+{
+    EngineConfig c = stepHybridMem();
+    c.name = "+FreeBank";
+    c.freeBank = true;
+    return c;
+}
+
+} // namespace herosign::core

@@ -1,0 +1,135 @@
+#include "core/tuning.hh"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace herosign::core
+{
+
+std::vector<TuningCandidate>
+treeTuningSearch(const TuningInputs &in)
+{
+    const uint32_t t = 1u << in.forsHeight;
+    // Relax-FORS: one thread covers two leaves and only levels >= 1
+    // are kept in shared memory (paper §III-B4).
+    const unsigned t_min = in.relax ? t / 2 : t;
+    const size_t tree_smem =
+        static_cast<size_t>(in.relax ? t / 2 : t) * in.n;
+    // One sync per stored level per round.
+    const unsigned levels = in.relax ? in.forsHeight - 1 : in.forsHeight;
+
+    std::vector<TuningCandidate> cands;
+    if (t_min == 0 || t_min > in.maxThreads)
+        return cands;
+
+    for (unsigned t_set = t_min; t_set <= in.maxThreads;
+         t_set += t_min) {
+        const unsigned n_tree = t_set / t_min;
+        if (n_tree > in.forsTrees)
+            break;
+        const size_t s_set = n_tree * tree_smem;
+        if (s_set > in.smemPerBlock)
+            continue;
+
+        const unsigned f_max = std::min<unsigned>(
+            static_cast<unsigned>(in.smemPerBlock / s_set),
+            in.forsTrees / n_tree);
+
+        for (unsigned f = 1; f <= std::max(1u, f_max); ++f) {
+            const unsigned t_used = t_set; // threads fixed per Set
+            const size_t s_used = f * s_set;
+            if (t_used > in.maxThreads || s_used > in.smemPerBlock)
+                continue;
+
+            const double u_t =
+                static_cast<double>(t_used) / in.maxThreads;
+            const double u_s =
+                static_cast<double>(s_used) / in.smemPerBlock;
+
+            // Line 18: configurations that saturate both resources,
+            // or saturate the shared-memory limit (no headroom for
+            // the roots region / driver), or underuse threads below
+            // alpha, are excluded — they raise contention and lower
+            // warp occupancy in practice.
+            if ((u_t >= 1.0 && u_s >= 1.0) || u_s >= 1.0 ||
+                u_t < in.alpha) {
+                continue;
+            }
+
+            const unsigned sets_total =
+                (in.forsTrees + n_tree - 1) / n_tree;
+            const double sync =
+                static_cast<double>(levels) * sets_total / f;
+
+            TuningCandidate c;
+            c.threadsPerSet = t_set;
+            c.treesPerSet = n_tree;
+            c.fusedSets = f;
+            c.threadUtil = u_t;
+            c.smemUtil = u_s;
+            c.syncPoints = sync;
+            c.smemUsed = s_used;
+            c.relax = in.relax;
+            cands.push_back(c);
+        }
+    }
+
+    // Line 25: argmin over (sync, -U_T, -U_S).
+    std::sort(cands.begin(), cands.end(),
+              [](const TuningCandidate &a, const TuningCandidate &b) {
+                  if (a.syncPoints != b.syncPoints)
+                      return a.syncPoints < b.syncPoints;
+                  if (a.threadUtil != b.threadUtil)
+                      return a.threadUtil > b.threadUtil;
+                  if (a.smemUtil != b.smemUtil)
+                      return a.smemUtil > b.smemUtil;
+                  // Deterministic final tie-break.
+                  return a.threadsPerSet < b.threadsPerSet;
+              });
+    return cands;
+}
+
+TuningCandidate
+autoTreeTuning(const sphincs::Params &params, const gpu::DeviceProps &dev,
+               double alpha)
+{
+    TuningInputs in;
+    in.forsTrees = params.forsTrees;
+    in.forsHeight = params.forsHeight;
+    in.n = params.n;
+    // SEMEPerBlock(): static limit by default; architectures with a
+    // larger opt-in dynamic allocation use it (paper §IV-F), but the
+    // static 48 KB is never exceeded on the RTX 4090 path because the
+    // search excludes saturating configurations anyway.
+    in.smemPerBlock = std::min(dev.staticSmemPerBlock,
+                               dev.maxDynamicSmemPerBlock);
+    in.maxThreads = dev.maxThreadsPerBlock;
+    in.alpha = alpha;
+
+    // Relax-FORS when a single tree's leaf level is at least 16 KB
+    // (256f: 512 x 32 B), per §III-B4.
+    const size_t tree_bytes =
+        static_cast<size_t>(params.forsLeaves()) * params.n;
+    in.relax = tree_bytes >= 16 * 1024;
+
+    auto cands = treeTuningSearch(in);
+    if (cands.empty()) {
+        // Small forests cannot satisfy the alpha utilization filter
+        // (k * t below alpha * 1024 threads); alpha is "an optional
+        // tune factor" (Algorithm 1, line 18) — drop it.
+        in.alpha = 0.0;
+        cands = treeTuningSearch(in);
+    }
+    if (cands.empty() && !in.relax) {
+        // Fall back to the relax model if the plain search fails.
+        in.relax = true;
+        cands = treeTuningSearch(in);
+    }
+    if (cands.empty())
+        throw std::runtime_error(
+            "autoTreeTuning: no valid configuration for " + params.name +
+            " on " + dev.name);
+    return cands.front();
+}
+
+} // namespace herosign::core

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The Auto Tree Tuning search (paper Algorithm 1).
+ *
+ * Enumerates (T_set, F) configurations for FORS under the target
+ * GPU's shared-memory and thread constraints, filters per the
+ * paper's heuristics, and ranks candidates by
+ * (sync points asc, thread utilization desc, smem utilization desc).
+ */
+
+#ifndef HEROSIGN_CORE_TUNING_HH
+#define HEROSIGN_CORE_TUNING_HH
+
+#include <vector>
+
+#include "gpusim/device_props.hh"
+#include "sphincs/params.hh"
+
+namespace herosign::core
+{
+
+/** One (T_set, F) candidate produced by the search. */
+struct TuningCandidate
+{
+    unsigned threadsPerSet = 0;  ///< T_set
+    unsigned treesPerSet = 0;    ///< Ntree = T_set / T_min
+    unsigned fusedSets = 0;      ///< F
+    double threadUtil = 0;       ///< U_T = T_set / 1024
+    double smemUtil = 0;         ///< U_S = S_used / S_max
+    double syncPoints = 0;       ///< log2(t) * ceil(k/Ntree) / F
+    size_t smemUsed = 0;         ///< F * S_set bytes
+    bool relax = false;          ///< searched under Relax-FORS
+};
+
+/** Inputs of Algorithm 1. */
+struct TuningInputs
+{
+    unsigned forsTrees;      ///< k
+    unsigned forsHeight;     ///< log2(t)
+    unsigned n;              ///< node bytes
+    size_t smemPerBlock;     ///< SEMEPerBlock()
+    unsigned maxThreads = 1024;
+    double alpha = 0.5;      ///< minimum thread utilization filter
+    bool relax = false;      ///< halve T_min and per-tree smem
+};
+
+/**
+ * Algorithm 1: enumerate and filter the candidate set. Candidates
+ * are returned sorted by the paper's ranking; empty when nothing
+ * satisfies the constraints.
+ */
+std::vector<TuningCandidate> treeTuningSearch(const TuningInputs &in);
+
+/**
+ * The full offline tuner for a parameter set on a device: queries
+ * the device limits (cudaGetDeviceProperties in the paper), decides
+ * whether the Relax-FORS model is needed (per-tree footprint
+ * >= 16 KB, §III-B4), runs the search, and returns the winner.
+ * @throws std::runtime_error if no valid configuration exists.
+ */
+TuningCandidate autoTreeTuning(const sphincs::Params &params,
+                               const gpu::DeviceProps &dev,
+                               double alpha = 0.5);
+
+} // namespace herosign::core
+
+#endif // HEROSIGN_CORE_TUNING_HH

@@ -1,0 +1,161 @@
+#include "gpusim/banks.hh"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <stdexcept>
+
+namespace herosign::gpu
+{
+
+unsigned
+BankModel::regionRows(unsigned bytes_per_lane)
+{
+    if (bytes_per_lane == 0 || bytes_per_lane % 4 != 0)
+        throw std::invalid_argument("BankModel: bytes must be word sized");
+    for (unsigned r = 1; r <= 32; ++r) {
+        if ((128 * r) % bytes_per_lane == 0)
+            return r;
+    }
+    throw std::invalid_argument("BankModel: no region factor <= 32");
+}
+
+unsigned
+BankModel::lanesPerPhase(unsigned bytes_per_lane)
+{
+    return 128 * regionRows(bytes_per_lane) / bytes_per_lane;
+}
+
+uint64_t
+BankModel::conflicts(const WarpAccess &access) const
+{
+    if (access.laneAddrs.empty())
+        return 0;
+    const unsigned rows = regionRows(access.bytesPerLane);
+    const unsigned lanes_per_phase = lanesPerPhase(access.bytesPerLane);
+    const unsigned words_per_lane = access.bytesPerLane / bankBytes_;
+
+    uint64_t total = 0;
+    for (size_t begin = 0; begin < access.laneAddrs.size();
+         begin += lanes_per_phase) {
+        const size_t end = std::min(access.laneAddrs.size(),
+                                    begin + lanes_per_phase);
+        // Distinct word addresses per bank within the phase.
+        std::map<unsigned, std::set<uint32_t>> bank_words;
+        for (size_t lane = begin; lane < end; ++lane) {
+            for (unsigned w = 0; w < words_per_lane; ++w) {
+                uint32_t word =
+                    access.laneAddrs[lane] / bankBytes_ + w;
+                bank_words[word % numBanks_].insert(word);
+            }
+        }
+        uint64_t wavefronts = 0;
+        for (const auto &[bank, words] : bank_words)
+            wavefronts = std::max<uint64_t>(wavefronts, words.size());
+        // R wavefronts are unavoidable for a full phase; partial
+        // phases still need at least one.
+        const uint64_t unavoidable =
+            std::min<uint64_t>(rows, wavefronts == 0 ? 0 : wavefronts);
+        total += wavefronts - std::min(wavefronts, unavoidable);
+    }
+    return total;
+}
+
+uint32_t
+NaiveReductionLayout::nodeAddr(unsigned level, uint32_t index) const
+{
+    // In-place: level-l node j occupies the slot of its leftmost leaf.
+    return base_ + (index << level) * nodeBytes_;
+}
+
+uint32_t
+NaiveReductionLayout::footprint() const
+{
+    return leaves_ * nodeBytes_;
+}
+
+PaddedReductionLayout::PaddedReductionLayout(uint32_t leaves,
+                                             unsigned node_bytes,
+                                             uint32_t base)
+    : ReductionLayout(leaves, node_bytes, base)
+{
+    if (leaves < 2 || (leaves & (leaves - 1)) != 0)
+        throw std::invalid_argument(
+            "PaddedReductionLayout: leaves must be a power of two >= 2");
+
+    // Two fixed half-buffers: buf0 holds even-index nodes, buf1 holds
+    // odd-index nodes of every level; levels shrink inside them. The
+    // odd buffer is skewed to 64 bytes (mod 128) past the even buffer
+    // by inserting padding banks (Eq. 2 / Eq. 3 regions).
+    const uint32_t half = leaves / 2 * node_bytes;
+    uint32_t skew_pad =
+        (oddSkewBytes + 128 - (half % 128)) % 128;
+    evenBase_.assign(1, base);
+    oddBase_.assign(1, base + half + skew_pad);
+    footprint_ = 2 * half + skew_pad;
+}
+
+uint32_t
+PaddedReductionLayout::nodeAddr(unsigned level, uint32_t index) const
+{
+    (void)level; // bases are level-invariant; slots shrink per level
+    const uint32_t slot = index / 2;
+    if (index % 2 == 0)
+        return evenBase_[0] + slot * nodeBytes_;
+    return oddBase_[0] + slot * nodeBytes_;
+}
+
+uint32_t
+PaddedReductionLayout::footprint() const
+{
+    return footprint_;
+}
+
+ConflictCounts
+reductionConflicts(const ReductionLayout &layout, unsigned block_threads,
+                   const BankModel &model)
+{
+    ConflictCounts out;
+    const unsigned node_bytes = layout.nodeBytes();
+    const unsigned warp = 32;
+
+    unsigned levels = 0;
+    for (uint32_t v = layout.leaves(); v > 1; v >>= 1)
+        ++levels;
+
+    for (unsigned level = 0; level < levels; ++level) {
+        const uint32_t parents = layout.leaves() >> (level + 1);
+        const uint32_t active =
+            std::min<uint32_t>(parents, block_threads);
+        // Threads loop if the block is smaller than the level width;
+        // each pass is its own set of warp instructions.
+        for (uint32_t pass = 0; pass * active < parents; ++pass) {
+            const uint32_t lo = pass * active;
+            const uint32_t hi = std::min(parents, lo + active);
+            for (uint32_t w = lo; w < hi; w += warp) {
+                const uint32_t lanes = std::min<uint32_t>(warp, hi - w);
+                WarpAccess left, right, store;
+                left.bytesPerLane = node_bytes;
+                right.bytesPerLane = node_bytes;
+                store.bytesPerLane = node_bytes;
+                for (uint32_t lane = 0; lane < lanes; ++lane) {
+                    const uint32_t i = w + lane;
+                    left.laneAddrs.push_back(
+                        layout.nodeAddr(level, 2 * i));
+                    right.laneAddrs.push_back(
+                        layout.nodeAddr(level, 2 * i + 1));
+                    store.laneAddrs.push_back(
+                        layout.nodeAddr(level + 1, i));
+                }
+                out.loadConflicts += model.conflicts(left);
+                out.loadConflicts += model.conflicts(right);
+                out.storeConflicts += model.conflicts(store);
+                out.loadInstructions += 2;
+                out.storeInstructions += 1;
+            }
+        }
+    }
+    return out;
+}
+
+} // namespace herosign::gpu

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Shared-memory bank-conflict model and the conflict-free reduction
+ * layouts of paper §III-E.
+ *
+ * Model. A warp instruction where each lane accesses one B-byte node
+ * is split into *transaction phases* of Th consecutive lanes, where
+ * Th * B = 128 * R bytes and R is the smallest integer making 128*R
+ * divisible by B (R = 1 for 16- and 32-byte nodes, R = 3 for 24-byte
+ * nodes — the paper's Eq. 2 and Eq. 3). A phase requests 32*R words;
+ * the banks service it in max-over-banks(distinct word addresses)
+ * wavefronts, of which R are unavoidable. Conflicts = wavefronts - R,
+ * summed over phases. This encodes the paper's hypothesis that the
+ * hardware coalesces limited strided 128-byte rows into one larger
+ * transaction.
+ *
+ * Layouts. The reduction (Fig. 7) combines nodes 2i and 2i+1 into
+ * node i, level by level.
+ *  * NaiveReductionLayout stores level-l node j at its classic
+ *    in-place position j * 2^l, so loads stride by 2^(l+1) nodes and
+ *    conflict heavily (doubling per level).
+ *  * PaddedReductionLayout implements the paper's even-odd storage:
+ *    each level is stored as an even-index array and an odd-index
+ *    array, with padding banks inserted so the odd array is skewed by
+ *    64 bytes (mod 128) relative to the even array. Loads of children
+ *    (even[i], odd[i]) and interleaved stores of parents are then
+ *    conflict-free under the model for all three access widths.
+ */
+
+#ifndef HEROSIGN_GPUSIM_BANKS_HH
+#define HEROSIGN_GPUSIM_BANKS_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "gpusim/device_props.hh"
+
+namespace herosign::gpu
+{
+
+/** One warp-level shared-memory access: per-lane starting address. */
+struct WarpAccess
+{
+    /// Starting byte address per active lane (inactive lanes absent).
+    std::vector<uint32_t> laneAddrs;
+    /// Bytes accessed per lane (16, 24 or 32 in SPHINCS+).
+    unsigned bytesPerLane = 4;
+};
+
+/** Load/store conflict tallies. */
+struct ConflictCounts
+{
+    uint64_t loadConflicts = 0;
+    uint64_t storeConflicts = 0;
+    uint64_t loadInstructions = 0;
+    uint64_t storeInstructions = 0;
+
+    void
+    add(const ConflictCounts &other)
+    {
+        loadConflicts += other.loadConflicts;
+        storeConflicts += other.storeConflicts;
+        loadInstructions += other.loadInstructions;
+        storeInstructions += other.storeInstructions;
+    }
+};
+
+/** Bank-conflict counting for warp accesses. */
+class BankModel
+{
+  public:
+    explicit BankModel(const DeviceProps &dev)
+        : numBanks_(dev.numBanks), bankBytes_(dev.bankBytes)
+    {
+    }
+
+    BankModel() : numBanks_(32), bankBytes_(4) {}
+
+    /**
+     * The paper's transaction-region factor R: smallest R >= 1 with
+     * 128 * R divisible by bytesPerLane (Eq. 2 / Eq. 3).
+     */
+    static unsigned regionRows(unsigned bytes_per_lane);
+
+    /** Lanes per transaction phase: Th = 128 * R / bytesPerLane. */
+    static unsigned lanesPerPhase(unsigned bytes_per_lane);
+
+    /**
+     * Count the extra serialized wavefronts ("conflicts") for one
+     * warp access under the transaction-phase model.
+     */
+    uint64_t conflicts(const WarpAccess &access) const;
+
+  private:
+    unsigned numBanks_;
+    unsigned bankBytes_;
+};
+
+/**
+ * Shared-memory placement of Merkle-reduction nodes. Implementations
+ * provide the address of each node at each level plus the total
+ * footprint, so both the functional kernels and the conflict model
+ * use identical addresses.
+ */
+class ReductionLayout
+{
+  public:
+    /**
+     * @param leaves number of leaves (power of two)
+     * @param node_bytes node size (n)
+     * @param base byte offset of this tree's region in shared memory
+     */
+    ReductionLayout(uint32_t leaves, unsigned node_bytes, uint32_t base)
+        : leaves_(leaves), nodeBytes_(node_bytes), base_(base)
+    {
+    }
+
+    virtual ~ReductionLayout() = default;
+
+    /** Byte address of node @p index at @p level (0 = leaves). */
+    virtual uint32_t nodeAddr(unsigned level, uint32_t index) const = 0;
+
+    /** Total shared-memory bytes consumed by the tree region. */
+    virtual uint32_t footprint() const = 0;
+
+    uint32_t leaves() const { return leaves_; }
+    unsigned nodeBytes() const { return nodeBytes_; }
+    uint32_t base() const { return base_; }
+
+  protected:
+    uint32_t leaves_;
+    unsigned nodeBytes_;
+    uint32_t base_;
+};
+
+/** Classic in-place layout: level-l node j sits at slot j * 2^l. */
+class NaiveReductionLayout : public ReductionLayout
+{
+  public:
+    using ReductionLayout::ReductionLayout;
+
+    uint32_t nodeAddr(unsigned level, uint32_t index) const override;
+    uint32_t footprint() const override;
+};
+
+/**
+ * The paper's conflict-free layout: per level, even-index and
+ * odd-index nodes live in separate arrays, with the odd array skewed
+ * by 64 bytes (mod 128) via inserted padding banks. Level l >= 1
+ * reuses the region of level l-1's grandparents (ping-pong inside the
+ * same footprint), modelled here by giving every level its own
+ * even/odd pair inside a footprint that is still O(leaves).
+ */
+class PaddedReductionLayout : public ReductionLayout
+{
+  public:
+    PaddedReductionLayout(uint32_t leaves, unsigned node_bytes,
+                          uint32_t base);
+
+    uint32_t nodeAddr(unsigned level, uint32_t index) const override;
+    uint32_t footprint() const override;
+
+    /** The skew (bytes) applied between the even and odd arrays. */
+    static constexpr uint32_t oddSkewBytes = 64;
+
+  private:
+    /// Base of each level's even array, and of its odd array.
+    std::vector<uint32_t> evenBase_;
+    std::vector<uint32_t> oddBase_;
+    uint32_t footprint_ = 0;
+};
+
+/**
+ * Count the load/store conflicts of a full bottom-up reduction of
+ * @p layout executed by one block of @p block_threads threads, where
+ * at level l thread i handles parent node i (loads children 2i and
+ * 2i+1, stores parent i). This is the access trace of the paper's
+ * Table VI experiment.
+ */
+ConflictCounts reductionConflicts(const ReductionLayout &layout,
+                                  unsigned block_threads,
+                                  const BankModel &model);
+
+} // namespace herosign::gpu
+
+#endif // HEROSIGN_GPUSIM_BANKS_HH

@@ -1,0 +1,98 @@
+#include "gpusim/compile_model.hh"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace herosign::gpu
+{
+
+namespace
+{
+
+double
+optCost(double units, const CompileCostParams &p)
+{
+    return p.optSecondsPerUnit *
+           std::pow(units, p.optSuperlinearExponent);
+}
+
+} // namespace
+
+double
+compileSeconds(CompileStrategy strategy,
+               const std::vector<KernelCodeSize> &kernels,
+               const CompileCostParams &p)
+{
+    double total = p.linkFixedSeconds;
+    for (const auto &k : kernels) {
+        total += p.perKernelFixedSeconds;
+        switch (strategy) {
+          case CompileStrategy::BaselineRuntimeBranch: {
+            // Both bodies live in one kernel: the front end parses
+            // both and the optimizer sees their sum.
+            const double units = k.nativeBodyUnits + k.ptxBodyUnits;
+            total += p.frontEndSecondsPerUnit * units;
+            total += optCost(units, p);
+            break;
+          }
+          case CompileStrategy::CompileTimeBranch: {
+            // constexpr-if: the discarded branch is parsed but never
+            // reaches the optimizer; add the instantiation cost.
+            const double kept =
+                k.selectsPtx ? k.ptxBodyUnits : k.nativeBodyUnits;
+            const double parsed = k.nativeBodyUnits + k.ptxBodyUnits;
+            total += p.frontEndSecondsPerUnit * parsed;
+            total += optCost(kept, p);
+            total += p.templateInstantiationSeconds;
+            break;
+          }
+        }
+    }
+    return total;
+}
+
+std::vector<KernelCodeSize>
+sphincsKernelSizes(const std::string &set)
+{
+    // Body sizes scale with n (more unrolled message-schedule work)
+    // and with the per-kernel surrounding logic. PTX bodies are about
+    // 40% the optimizer-visible size: the SHA rounds are opaque asm,
+    // only the glue remains visible.
+    double n;
+    bool ptx_tree, ptx_wots;
+    if (set == "SPHINCS+-128f") {
+        n = 16;
+        ptx_tree = false;
+        ptx_wots = false;
+    } else if (set == "SPHINCS+-192f") {
+        n = 24;
+        ptx_tree = false;
+        ptx_wots = false;
+    } else if (set == "SPHINCS+-256f") {
+        n = 32;
+        ptx_tree = true;
+        ptx_wots = true;
+    } else {
+        throw std::invalid_argument(
+            "sphincsKernelSizes: unknown set " + set);
+    }
+
+    const double sha_units = 260 + 6.0 * n; // unrolled SHA-256 body
+    auto kernel = [&](const std::string &name, double glue,
+                      bool selects_ptx) {
+        KernelCodeSize k;
+        k.name = name;
+        k.nativeBodyUnits = sha_units + glue;
+        k.ptxBodyUnits = 0.40 * sha_units + glue;
+        k.selectsPtx = selects_ptx;
+        return k;
+    };
+
+    return {
+        kernel("FORS_Sign", 180, true), // PTX wins on all sets (Tab. V)
+        kernel("TREE_Sign", 260, ptx_tree),
+        kernel("WOTS+_Sign", 150, ptx_wots),
+    };
+}
+
+} // namespace herosign::gpu

@@ -1,0 +1,162 @@
+#include "gpusim/device_props.hh"
+
+#include <stdexcept>
+
+namespace herosign::gpu
+{
+
+std::string
+archName(Arch arch)
+{
+    switch (arch) {
+      case Arch::Pascal: return "Pascal";
+      case Arch::Volta: return "Volta";
+      case Arch::Turing: return "Turing";
+      case Arch::Ampere: return "Ampere";
+      case Arch::Ada: return "Ada";
+      case Arch::Hopper: return "Hopper";
+    }
+    return "?";
+}
+
+DeviceProps
+DeviceProps::gtx1070()
+{
+    DeviceProps d;
+    d.name = "GTX 1070";
+    d.arch = Arch::Pascal;
+    d.smVersion = 61;
+    d.numSms = 15;
+    d.cudaCores = 1920;
+    d.baseClockMhz = 1506;          // Table VII
+    d.maxThreadsPerSm = 2048;
+    d.maxWarpsPerSm = 64;
+    d.maxBlocksPerSm = 32;
+    d.smemPerSm = 96 * 1024;
+    d.maxDynamicSmemPerBlock = 48 * 1024; // no opt-in beyond 48 KB
+    d.peakBwGBs = 256;
+    d.intIssueFraction = 0.5;       // no INT/FP dual issue on Pascal;
+                                    // INT ops steal FP32 slots
+    return d;
+}
+
+DeviceProps
+DeviceProps::v100()
+{
+    DeviceProps d;
+    d.name = "V100";
+    d.arch = Arch::Volta;
+    d.smVersion = 70;
+    d.numSms = 80;
+    d.cudaCores = 5120;
+    d.baseClockMhz = 1230;          // Table VII
+    d.maxThreadsPerSm = 2048;
+    d.maxWarpsPerSm = 64;
+    d.maxBlocksPerSm = 32;
+    d.smemPerSm = 96 * 1024;
+    d.maxDynamicSmemPerBlock = 96 * 1024;
+    d.peakBwGBs = 900;
+    d.intIssueFraction = 1.0;       // dedicated INT32 pipe per FP32
+    return d;
+}
+
+DeviceProps
+DeviceProps::rtx2080ti()
+{
+    DeviceProps d;
+    d.name = "RTX 2080 Ti";
+    d.arch = Arch::Turing;
+    d.smVersion = 75;
+    d.numSms = 68;
+    d.cudaCores = 4352;
+    d.baseClockMhz = 1350;          // Table VII
+    d.maxThreadsPerSm = 1024;
+    d.maxWarpsPerSm = 32;
+    d.maxBlocksPerSm = 16;
+    d.smemPerSm = 64 * 1024;
+    d.maxDynamicSmemPerBlock = 64 * 1024;
+    d.peakBwGBs = 616;
+    d.intIssueFraction = 1.0;       // Turing keeps the INT32 pipe
+    return d;
+}
+
+DeviceProps
+DeviceProps::a100()
+{
+    DeviceProps d;
+    d.name = "A100";
+    d.arch = Arch::Ampere;
+    d.smVersion = 80;
+    d.numSms = 108;
+    d.cudaCores = 6912;
+    d.baseClockMhz = 1095;          // Table VII
+    d.maxThreadsPerSm = 2048;
+    d.maxWarpsPerSm = 64;
+    d.maxBlocksPerSm = 32;
+    d.smemPerSm = 164 * 1024;
+    d.maxDynamicSmemPerBlock = 163 * 1024;
+    d.peakBwGBs = 1555;
+    d.intIssueFraction = 0.5;       // half the FP32 lanes are FP/INT
+    return d;
+}
+
+DeviceProps
+DeviceProps::rtx4090()
+{
+    DeviceProps d;
+    d.name = "RTX 4090";
+    d.arch = Arch::Ada;
+    d.smVersion = 89;
+    d.numSms = 128;
+    d.cudaCores = 16384;            // paper §IV-F
+    d.baseClockMhz = 2235;          // Table VII
+    d.maxThreadsPerSm = 1536;
+    d.maxWarpsPerSm = 48;
+    d.maxBlocksPerSm = 24;
+    d.smemPerSm = 100 * 1024;
+    d.maxDynamicSmemPerBlock = 99 * 1024;
+    d.peakBwGBs = 1008;
+    d.intIssueFraction = 0.5;
+    return d;
+}
+
+DeviceProps
+DeviceProps::h100()
+{
+    DeviceProps d;
+    d.name = "H100";
+    d.arch = Arch::Hopper;
+    d.smVersion = 90;
+    d.numSms = 132;
+    d.cudaCores = 16896;            // paper §IV-F
+    d.baseClockMhz = 1035;          // Table VII
+    d.maxThreadsPerSm = 2048;
+    d.maxWarpsPerSm = 64;
+    d.maxBlocksPerSm = 32;
+    d.smemPerSm = 228 * 1024;       // paper §IV-F: up to 228 KB
+    d.maxDynamicSmemPerBlock = 227 * 1024;
+    d.peakBwGBs = 2039;
+    d.intIssueFraction = 0.5;
+    return d;
+}
+
+const std::vector<DeviceProps> &
+DeviceProps::allPlatforms()
+{
+    static const std::vector<DeviceProps> all = {
+        gtx1070(), v100(), rtx2080ti(), a100(), rtx4090(), h100(),
+    };
+    return all;
+}
+
+const DeviceProps &
+DeviceProps::byArch(Arch arch)
+{
+    for (const auto &d : allPlatforms()) {
+        if (d.arch == arch)
+            return d;
+    }
+    throw std::invalid_argument("DeviceProps: unknown arch");
+}
+
+} // namespace herosign::gpu

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * CUDA-class device property presets for the six GPUs of the paper's
+ * Table VII. The simulator enforces the same resource limits a real
+ * launch would hit (registers/SM, shared memory/block and /SM, thread
+ * and block slots), so HERO-Sign's tuning decisions face the same
+ * trade-offs as on silicon.
+ */
+
+#ifndef HEROSIGN_GPUSIM_DEVICE_PROPS_HH
+#define HEROSIGN_GPUSIM_DEVICE_PROPS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace herosign::gpu
+{
+
+/** GPU micro-architecture generations used in the paper. */
+enum class Arch { Pascal, Volta, Turing, Ampere, Ada, Hopper };
+
+/** Human-readable architecture name ("Pascal", ...). */
+std::string archName(Arch arch);
+
+/**
+ * Device properties. The subset of cudaDeviceProp the paper's
+ * optimizations actually depend on, plus calibrated launch-overhead
+ * constants for the scheduling model.
+ */
+struct DeviceProps
+{
+    std::string name;          ///< marketing name, e.g. "RTX 4090"
+    Arch arch;
+    unsigned smVersion;        ///< 61, 70, 75, 80, 89, 90
+    unsigned numSms;
+    unsigned cudaCores;        ///< total across the device
+    double baseClockMhz;
+
+    unsigned maxThreadsPerBlock = 1024;
+    unsigned maxThreadsPerSm;
+    unsigned maxWarpsPerSm;    ///< W_max in the paper's Eq. 1
+    unsigned maxBlocksPerSm;
+    uint32_t registersPerSm = 65536;  ///< R_total in Eq. 1
+    unsigned maxRegsPerThread = 255;
+
+    size_t staticSmemPerBlock = 48 * 1024;  ///< classic 48 KB limit
+    size_t smemPerSm;                       ///< usable per SM
+    size_t maxDynamicSmemPerBlock;          ///< opt-in per-block max
+
+    unsigned warpSize = 32;
+    unsigned numBanks = 32;
+    unsigned bankBytes = 4;
+
+    double peakBwGBs;          ///< global-memory bandwidth
+
+    /// Host-side cost of one stream kernel launch (us).
+    double kernelLaunchOverheadUs = 4.0;
+    /// One-time cost of launching an instantiated graph (us).
+    double graphLaunchOverheadUs = 8.0;
+    /// Device-side dispatch cost per graph node (us).
+    double graphNodeOverheadUs = 0.2;
+
+    /// INT32-capable fraction of the "CUDA cores" (SHA-256 is almost
+    /// entirely 32-bit integer work; on most of these parts half the
+    /// FP32 lanes dual-issue INT32).
+    double intIssueFraction = 0.5;
+
+    unsigned coresPerSm() const { return cudaCores / numSms; }
+
+    /// Peak integer lane throughput in lane-cycles per microsecond.
+    double
+    intLanesPerUs() const
+    {
+        return cudaCores * intIssueFraction * baseClockMhz;
+    }
+
+    /** The six platforms of Table VII. */
+    static DeviceProps gtx1070();
+    static DeviceProps v100();
+    static DeviceProps rtx2080ti();
+    static DeviceProps a100();
+    static DeviceProps rtx4090();
+    static DeviceProps h100();
+
+    /** All Table VII platforms, in the paper's order. */
+    static const std::vector<DeviceProps> &allPlatforms();
+
+    /** Preset lookup by architecture. */
+    static const DeviceProps &byArch(Arch arch);
+};
+
+} // namespace herosign::gpu
+
+#endif // HEROSIGN_GPUSIM_DEVICE_PROPS_HH

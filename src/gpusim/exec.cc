@@ -1,0 +1,185 @@
+#include "gpusim/exec.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <stdexcept>
+
+namespace herosign::gpu
+{
+
+BlockContext::BlockContext(const DeviceProps &dev, const CostParams &cp,
+                           unsigned block_idx, unsigned block_dim,
+                           size_t shared_bytes, double cycles_per_hash)
+    : dev_(dev), cp_(cp), bankModel_(dev), blockIdx_(block_idx),
+      blockDim_(block_dim), cyclesPerHash_(cycles_per_hash),
+      shared_(shared_bytes, 0), threadCycles_(block_dim, 0.0),
+      accesses_(block_dim)
+{
+}
+
+void
+BlockContext::loadShared(unsigned tid, uint32_t addr, uint8_t *dst,
+                         unsigned bytes)
+{
+    if (addr + bytes > shared_.size())
+        throw std::out_of_range("loadShared: out of shared memory");
+    std::memcpy(dst, shared_.data() + addr, bytes);
+    accesses_[tid].push_back({addr, bytes, false});
+    threadCycles_[tid] += cp_.cyclesPerSharedWord * (bytes / 4.0);
+    counters_.sharedBytes += bytes;
+}
+
+void
+BlockContext::storeShared(unsigned tid, uint32_t addr, const uint8_t *src,
+                          unsigned bytes)
+{
+    if (addr + bytes > shared_.size())
+        throw std::out_of_range("storeShared: out of shared memory");
+    std::memcpy(shared_.data() + addr, src, bytes);
+    accesses_[tid].push_back({addr, bytes, true});
+    threadCycles_[tid] += cp_.cyclesPerSharedWord * (bytes / 4.0);
+    counters_.sharedBytes += bytes;
+}
+
+void
+BlockContext::chargeHash(unsigned tid, uint64_t count)
+{
+    threadCycles_[tid] += cyclesPerHash_ * count;
+    counters_.hashes += count;
+}
+
+void
+BlockContext::chargeGlobal(unsigned tid, uint64_t bytes)
+{
+    threadCycles_[tid] += cp_.cyclesPerGlobalByte * bytes;
+    counters_.globalBytes += bytes;
+}
+
+void
+BlockContext::chargeConstant(unsigned tid, uint64_t bytes)
+{
+    threadCycles_[tid] += cp_.cyclesPerConstantByte * bytes;
+    counters_.constantBytes += bytes;
+}
+
+void
+BlockContext::chargeCycles(unsigned tid, double cycles)
+{
+    threadCycles_[tid] += cycles;
+}
+
+void
+BlockContext::beginPhase()
+{
+    std::fill(threadCycles_.begin(), threadCycles_.end(), 0.0);
+    for (auto &a : accesses_)
+        a.clear();
+}
+
+void
+BlockContext::flushWarpInstructions(PhaseStats &stats)
+{
+    const unsigned warp = dev_.warpSize;
+    const unsigned num_warps = (blockDim_ + warp - 1) / warp;
+    for (unsigned w = 0; w < num_warps; ++w) {
+        const unsigned lane_lo = w * warp;
+        const unsigned lane_hi = std::min(blockDim_, lane_lo + warp);
+        size_t max_ops = 0;
+        for (unsigned t = lane_lo; t < lane_hi; ++t)
+            max_ops = std::max(max_ops, accesses_[t].size());
+
+        double warp_conflict_cycles = 0;
+        for (size_t op = 0; op < max_ops; ++op) {
+            WarpAccess acc;
+            bool is_store = false;
+            for (unsigned t = lane_lo; t < lane_hi; ++t) {
+                if (op < accesses_[t].size()) {
+                    acc.laneAddrs.push_back(accesses_[t][op].addr);
+                    acc.bytesPerLane = accesses_[t][op].bytes;
+                    is_store = accesses_[t][op].isStore;
+                }
+            }
+            const uint64_t conf = bankModel_.conflicts(acc);
+            stats.bankConflicts += conf;
+            warp_conflict_cycles += conf * cp_.cyclesPerConflict;
+            if (is_store) {
+                counters_.sharedStoreInstrs += 1;
+                counters_.sharedStoreConflicts += conf;
+            } else {
+                counters_.sharedLoadInstrs += 1;
+                counters_.sharedLoadConflicts += conf;
+            }
+        }
+        stats.worstWarpConflictCycles =
+            std::max(stats.worstWarpConflictCycles, warp_conflict_cycles);
+    }
+}
+
+PhaseStats
+BlockContext::endPhase()
+{
+    PhaseStats stats;
+    for (unsigned t = 0; t < blockDim_; ++t) {
+        if (threadCycles_[t] > 0) {
+            ++stats.activeLanes;
+            stats.sumThreadCycles += threadCycles_[t];
+            stats.maxThreadCycles =
+                std::max(stats.maxThreadCycles, threadCycles_[t]);
+        }
+    }
+    flushWarpInstructions(stats);
+    // A conflict replay burns issue slots in addition to stretching
+    // the worst warp's path.
+    stats.sumThreadCycles += static_cast<double>(stats.bankConflicts) *
+                             cp_.cyclesPerConflict *
+                             cp_.conflictIssueLanes;
+    ++counters_.barriers;
+    return stats;
+}
+
+namespace
+{
+
+ExecResult
+executeRange(const DeviceProps &dev, const CostParams &cp,
+             const LaunchSpec &spec, unsigned first, unsigned last,
+             unsigned profile_block)
+{
+    ExecResult out;
+    for (unsigned b = first; b < last; ++b) {
+        BlockContext blk(dev, cp, b, spec.blockDim, spec.sharedBytes,
+                         spec.cyclesPerHash);
+        const unsigned phases = spec.body->numPhases(b);
+        BlockProfile profile;
+        for (unsigned p = 0; p < phases; ++p) {
+            blk.beginPhase();
+            for (unsigned t = 0; t < spec.blockDim; ++t)
+                spec.body->run(p, blk, t);
+            profile.phases.push_back(blk.endPhase());
+        }
+        profile.counters = blk.counters();
+        out.totals.add(blk.counters());
+        if (b == profile_block)
+            out.profile = std::move(profile);
+    }
+    return out;
+}
+
+} // namespace
+
+ExecResult
+executeLaunch(const DeviceProps &dev, const CostParams &cp,
+              const LaunchSpec &spec)
+{
+    return executeRange(dev, cp, spec, 0, spec.gridDim, 0);
+}
+
+ExecResult
+executeBlock(const DeviceProps &dev, const CostParams &cp,
+             const LaunchSpec &spec, unsigned block_idx)
+{
+    return executeRange(dev, cp, spec, block_idx, block_idx + 1,
+                        block_idx);
+}
+
+} // namespace herosign::gpu

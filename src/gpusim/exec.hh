@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Functional execution of simulated CUDA kernels.
+ *
+ * Kernels are written as *phase-structured* bodies: the code between
+ * two block-wide barriers is one phase, and the executor runs every
+ * thread's phase body in sequence before moving to the next phase —
+ * giving exactly the synchronization semantics of __syncthreads()
+ * without needing fibers. Tree reductions map naturally onto this
+ * (one level per phase, as in the paper's Fig. 7).
+ *
+ * While a block runs, the context traces shared-memory accesses
+ * (grouped into warp instructions by call order), charges per-thread
+ * cycles through the calibrated CostParams, and produces the
+ * BlockProfile the timing model consumes. Functional state (shared
+ * memory contents) is real: kernels compute actual signatures.
+ */
+
+#ifndef HEROSIGN_GPUSIM_EXEC_HH
+#define HEROSIGN_GPUSIM_EXEC_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gpusim/banks.hh"
+#include "gpusim/cost_model.hh"
+#include "gpusim/device_props.hh"
+#include "gpusim/perf_counters.hh"
+
+namespace herosign::gpu
+{
+
+class BlockContext;
+
+/** A simulated kernel body. */
+class KernelBody
+{
+  public:
+    virtual ~KernelBody() = default;
+
+    /** Kernel name for reports ("FORS_Sign", ...). */
+    virtual std::string name() const = 0;
+
+    /** Number of barrier-delimited phases for @p block_idx. */
+    virtual unsigned numPhases(unsigned block_idx) const = 0;
+
+    /**
+     * Run phase @p phase of thread @p tid in block @p block_idx.
+     * Implementations must be deterministic and must not communicate
+     * between threads except through the shared-memory API of
+     * BlockContext.
+     */
+    virtual void run(unsigned phase, BlockContext &blk, unsigned tid) = 0;
+};
+
+/** Execution context of one thread block. */
+class BlockContext
+{
+  public:
+    BlockContext(const DeviceProps &dev, const CostParams &cp,
+                 unsigned block_idx, unsigned block_dim,
+                 size_t shared_bytes, double cycles_per_hash);
+
+    unsigned blockIdx() const { return blockIdx_; }
+    unsigned blockDim() const { return blockDim_; }
+
+    /** Raw shared-memory backing store (functional state). */
+    uint8_t *shared() { return shared_.data(); }
+    size_t sharedSize() const { return shared_.size(); }
+
+    /**
+     * Load @p bytes from shared memory at @p addr into @p dst,
+     * tracing the access for bank-conflict accounting and charging
+     * @p tid the word-transfer cycles.
+     */
+    void loadShared(unsigned tid, uint32_t addr, uint8_t *dst,
+                    unsigned bytes);
+
+    /** Store counterpart of loadShared. */
+    void storeShared(unsigned tid, uint32_t addr, const uint8_t *src,
+                     unsigned bytes);
+
+    /** Charge @p count SHA-256 compressions to @p tid. */
+    void chargeHash(unsigned tid, uint64_t count = 1);
+
+    /** Charge a global-memory transfer to @p tid. */
+    void chargeGlobal(unsigned tid, uint64_t bytes);
+
+    /** Charge a constant-memory (broadcast) read to @p tid. */
+    void chargeConstant(unsigned tid, uint64_t bytes);
+
+    /** Charge raw ALU cycles (index math, base-w conversion, ...). */
+    void chargeCycles(unsigned tid, double cycles);
+
+    /// @{ Executor-side hooks.
+    void beginPhase();
+    PhaseStats endPhase();
+    const PerfCounters &counters() const { return counters_; }
+    /// @}
+
+  private:
+    struct TracedAccess
+    {
+        uint32_t addr;
+        unsigned bytes;
+        bool isStore;
+    };
+
+    void flushWarpInstructions(PhaseStats &stats);
+
+    const DeviceProps &dev_;
+    const CostParams &cp_;
+    BankModel bankModel_;
+    unsigned blockIdx_;
+    unsigned blockDim_;
+    double cyclesPerHash_;
+
+    std::vector<uint8_t> shared_;
+    std::vector<double> threadCycles_;
+    std::vector<std::vector<TracedAccess>> accesses_;
+    PerfCounters counters_;
+};
+
+/** How to derive timing profiles. */
+enum class ExecMode
+{
+    /// Execute every block functionally; profile block 0.
+    Functional,
+    /// Execute nothing; caller supplies an analytic profile.
+    Analytic,
+};
+
+/** A kernel launch: body + geometry + resources. */
+struct LaunchSpec
+{
+    std::shared_ptr<KernelBody> body;
+    unsigned gridDim = 1;
+    unsigned blockDim = 1;
+    size_t sharedBytes = 0;
+    unsigned regsPerThread = 32;
+    double cyclesPerHash = 2400;   ///< variant-dependent
+
+    KernelResources
+    resources() const
+    {
+        return KernelResources{regsPerThread, blockDim, sharedBytes};
+    }
+};
+
+/** Result of executing a launch functionally. */
+struct ExecResult
+{
+    BlockProfile profile;      ///< representative block (block 0)
+    PerfCounters totals;       ///< summed over all executed blocks
+};
+
+/**
+ * Execute all blocks of @p spec functionally (sequentially) against
+ * live memory, returning the block-0 profile and summed counters.
+ */
+ExecResult executeLaunch(const DeviceProps &dev, const CostParams &cp,
+                         const LaunchSpec &spec);
+
+/**
+ * Execute only block @p block_idx (used to profile a representative
+ * block when functional output is not needed for every block).
+ */
+ExecResult executeBlock(const DeviceProps &dev, const CostParams &cp,
+                        const LaunchSpec &spec, unsigned block_idx);
+
+} // namespace herosign::gpu
+
+#endif // HEROSIGN_GPUSIM_EXEC_HH

@@ -1,0 +1,86 @@
+#include "gpusim/occupancy.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace herosign::gpu
+{
+
+std::string
+limiterName(OccupancyLimiter limiter)
+{
+    switch (limiter) {
+      case OccupancyLimiter::Registers: return "registers";
+      case OccupancyLimiter::SharedMemory: return "shared-memory";
+      case OccupancyLimiter::ThreadSlots: return "thread-slots";
+      case OccupancyLimiter::BlockSlots: return "block-slots";
+      case OccupancyLimiter::WarpSlots: return "warp-slots";
+    }
+    return "?";
+}
+
+OccupancyResult
+computeOccupancy(const DeviceProps &dev, const KernelResources &res)
+{
+    if (res.threadsPerBlock == 0 ||
+        res.threadsPerBlock > dev.maxThreadsPerBlock) {
+        throw std::invalid_argument("computeOccupancy: bad block size");
+    }
+    if (res.regsPerThread == 0 || res.regsPerThread > dev.maxRegsPerThread)
+        throw std::invalid_argument("computeOccupancy: bad reg count");
+
+    const unsigned warps_per_block =
+        (res.threadsPerBlock + dev.warpSize - 1) / dev.warpSize;
+
+    // Registers are allocated per warp with 256-register granularity.
+    const uint32_t regs_per_warp =
+        ((res.regsPerThread * dev.warpSize + 255) / 256) * 256;
+    const uint32_t regs_per_block = regs_per_warp * warps_per_block;
+
+    auto consider = [](unsigned &blocks, OccupancyLimiter &lim,
+                       unsigned candidate, OccupancyLimiter why) {
+        if (candidate < blocks) {
+            blocks = candidate;
+            lim = why;
+        }
+    };
+
+    unsigned blocks = dev.maxBlocksPerSm;
+    OccupancyLimiter lim = OccupancyLimiter::BlockSlots;
+
+    consider(blocks, lim, dev.registersPerSm / regs_per_block,
+             OccupancyLimiter::Registers);
+    if (res.smemPerBlock > 0) {
+        consider(blocks, lim,
+                 static_cast<unsigned>(dev.smemPerSm / res.smemPerBlock),
+                 OccupancyLimiter::SharedMemory);
+    }
+    consider(blocks, lim, dev.maxThreadsPerSm / res.threadsPerBlock,
+             OccupancyLimiter::ThreadSlots);
+    consider(blocks, lim, dev.maxWarpsPerSm / warps_per_block,
+             OccupancyLimiter::WarpSlots);
+
+    OccupancyResult out;
+    out.blocksPerSm = blocks;
+    out.activeWarpsPerSm = blocks * warps_per_block;
+    out.occupancy = static_cast<double>(out.activeWarpsPerSm) /
+                    dev.maxWarpsPerSm;
+    out.limiter = lim;
+    return out;
+}
+
+double
+paperEq1Occupancy(const DeviceProps &dev, const KernelResources &res)
+{
+    const double blocks =
+        std::floor(static_cast<double>(dev.registersPerSm) /
+                   (static_cast<double>(res.regsPerThread) *
+                    res.threadsPerBlock));
+    const double warps_per_block =
+        static_cast<double>(res.threadsPerBlock) / dev.warpSize;
+    return std::min(1.0,
+                    blocks * warps_per_block / dev.maxWarpsPerSm);
+}
+
+} // namespace herosign::gpu

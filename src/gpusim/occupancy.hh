@@ -1,0 +1,71 @@
+/**
+ * @file
+ * CUDA occupancy calculator.
+ *
+ * Two views are provided: the paper's simplified register-only Eq. 1,
+ * and the full calculator that also applies shared-memory, thread-slot
+ * and block-slot limits (what cudaOccupancyMaxActiveBlocksPerSM
+ * reports). HERO-Sign's PTX branch selection and the tuner both reason
+ * in terms of this model.
+ */
+
+#ifndef HEROSIGN_GPUSIM_OCCUPANCY_HH
+#define HEROSIGN_GPUSIM_OCCUPANCY_HH
+
+#include <string>
+
+#include "gpusim/device_props.hh"
+
+namespace herosign::gpu
+{
+
+/** Per-launch resource requirements of a kernel. */
+struct KernelResources
+{
+    unsigned regsPerThread = 32;
+    unsigned threadsPerBlock = 1024;
+    size_t smemPerBlock = 0;   ///< static + dynamic shared memory
+};
+
+/** What bound the resident-block count. */
+enum class OccupancyLimiter
+{
+    Registers,
+    SharedMemory,
+    ThreadSlots,
+    BlockSlots,
+    WarpSlots,
+};
+
+std::string limiterName(OccupancyLimiter limiter);
+
+/** Result of the occupancy computation for one SM. */
+struct OccupancyResult
+{
+    unsigned blocksPerSm = 0;
+    unsigned activeWarpsPerSm = 0;
+    double occupancy = 0.0;   ///< activeWarps / maxWarpsPerSm
+    OccupancyLimiter limiter = OccupancyLimiter::BlockSlots;
+};
+
+/**
+ * Full occupancy computation: resident blocks per SM under register,
+ * shared-memory, thread-slot, warp-slot and block-slot limits.
+ * Register allocation is modelled with per-warp granularity of 256
+ * registers, as on real parts.
+ */
+OccupancyResult computeOccupancy(const DeviceProps &dev,
+                                 const KernelResources &res);
+
+/**
+ * The paper's Eq. 1:
+ *   Occupancy = (1/Wmax) * floor(Rtotal / (Rthread * Tblock))
+ *             * (Tblock / 32)
+ * i.e. the register-limited occupancy ignoring other constraints.
+ */
+double paperEq1Occupancy(const DeviceProps &dev,
+                         const KernelResources &res);
+
+} // namespace herosign::gpu
+
+#endif // HEROSIGN_GPUSIM_OCCUPANCY_HH

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Aggregated operation counters collected while executing simulated
+ * kernels. These play the role Nsight Compute metrics play in the
+ * paper: everything the cost model and the bench tables report is
+ * derived from them.
+ */
+
+#ifndef HEROSIGN_GPUSIM_PERF_COUNTERS_HH
+#define HEROSIGN_GPUSIM_PERF_COUNTERS_HH
+
+#include <cstdint>
+
+namespace herosign::gpu
+{
+
+/** Operation counts for one kernel (or one block). */
+struct PerfCounters
+{
+    uint64_t hashes = 0;           ///< SHA-256 compressions executed
+    uint64_t sharedLoadInstrs = 0; ///< warp-level load instructions
+    uint64_t sharedStoreInstrs = 0;
+    uint64_t sharedLoadConflicts = 0;  ///< extra wavefronts (loads)
+    uint64_t sharedStoreConflicts = 0; ///< extra wavefronts (stores)
+    uint64_t sharedBytes = 0;
+    uint64_t globalBytes = 0;
+    uint64_t constantBytes = 0;
+    uint64_t barriers = 0;         ///< block-wide synchronizations
+
+    void
+    add(const PerfCounters &o)
+    {
+        hashes += o.hashes;
+        sharedLoadInstrs += o.sharedLoadInstrs;
+        sharedStoreInstrs += o.sharedStoreInstrs;
+        sharedLoadConflicts += o.sharedLoadConflicts;
+        sharedStoreConflicts += o.sharedStoreConflicts;
+        sharedBytes += o.sharedBytes;
+        globalBytes += o.globalBytes;
+        constantBytes += o.constantBytes;
+        barriers += o.barriers;
+    }
+};
+
+} // namespace herosign::gpu
+
+#endif // HEROSIGN_GPUSIM_PERF_COUNTERS_HH

@@ -1,0 +1,36 @@
+#include "gpusim/task_graph.hh"
+
+#include <stdexcept>
+
+namespace herosign::gpu
+{
+
+int
+TaskGraph::addNode(const KernelExecDesc &kernel,
+                   const std::vector<int> &deps)
+{
+    const int idx = static_cast<int>(nodes_.size());
+    for (int d : deps) {
+        if (d < 0 || d >= idx)
+            throw std::invalid_argument(
+                "TaskGraph: dependency on unknown or later node");
+    }
+    nodes_.push_back(GraphNode{kernel, deps});
+    return idx;
+}
+
+void
+TaskGraph::validate() const
+{
+    // addNode only permits edges to earlier nodes, so the graph is a
+    // DAG by construction; re-check the invariant for deserialized or
+    // hand-built graphs.
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+        for (int d : nodes_[i].deps) {
+            if (d < 0 || static_cast<size_t>(d) >= i)
+                throw std::logic_error("TaskGraph: invalid edge");
+        }
+    }
+}
+
+} // namespace herosign::gpu

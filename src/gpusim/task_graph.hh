@@ -1,0 +1,69 @@
+/**
+ * @file
+ * CUDA-Graph-like task graphs (paper §III-F).
+ *
+ * A TaskGraph captures kernel nodes and their dependency edges once;
+ * an instantiated graph is launched with a single host API call, so
+ * the per-kernel host launch overhead and the host-side stream
+ * round-trips between dependent kernels disappear — the mechanism
+ * behind the paper's two-orders-of-magnitude launch-latency
+ * reduction (Fig. 12).
+ */
+
+#ifndef HEROSIGN_GPUSIM_TASK_GRAPH_HH
+#define HEROSIGN_GPUSIM_TASK_GRAPH_HH
+
+#include <string>
+#include <vector>
+
+namespace herosign::gpu
+{
+
+/** Scheduling-level description of a kernel execution. */
+struct KernelExecDesc
+{
+    std::string name;
+    /// Duration when running alone on the device (from kernelTiming).
+    double durationAloneUs = 0;
+    /// Fraction of device throughput consumed when running alone.
+    double utilization = 1.0;
+    /// Device gap before this kernel may start once its dependencies
+    /// complete — models host synchronization + intermediate-result
+    /// copies between component kernels (the TCAS baseline's idle
+    /// time, paper Table II).
+    double preGapUs = 0;
+};
+
+/** One node of a task graph. */
+struct GraphNode
+{
+    KernelExecDesc kernel;
+    /// Indices of nodes (within the graph) that must finish first.
+    std::vector<int> deps;
+};
+
+/** A captured kernel DAG. */
+class TaskGraph
+{
+  public:
+    /**
+     * Add a node; returns its index.
+     * @param deps intra-graph dependencies (must be existing indices)
+     */
+    int addNode(const KernelExecDesc &kernel,
+                const std::vector<int> &deps = {});
+
+    const std::vector<GraphNode> &nodes() const { return nodes_; }
+    bool empty() const { return nodes_.empty(); }
+    size_t size() const { return nodes_.size(); }
+
+    /** Validate the dependency structure (indices, acyclicity). */
+    void validate() const;
+
+  private:
+    std::vector<GraphNode> nodes_;
+};
+
+} // namespace herosign::gpu
+
+#endif // HEROSIGN_GPUSIM_TASK_GRAPH_HH

@@ -1,0 +1,51 @@
+#include "hash/hmac.hh"
+
+namespace herosign
+{
+
+HmacSha256::HmacSha256(ByteSpan key)
+{
+    std::array<uint8_t, Sha256::blockSize> k{};
+    if (key.size() > Sha256::blockSize) {
+        auto digest = Sha256::digest(key);
+        std::memcpy(k.data(), digest.data(), digest.size());
+    } else {
+        std::memcpy(k.data(), key.data(), key.size());
+    }
+    std::array<uint8_t, Sha256::blockSize> ipad;
+    for (size_t i = 0; i < k.size(); ++i) {
+        ipad[i] = k[i] ^ 0x36;
+        opad_[i] = k[i] ^ 0x5c;
+    }
+    inner_.update(ipad);
+    secureZero(k);
+}
+
+void
+HmacSha256::update(ByteSpan data)
+{
+    inner_.update(data);
+}
+
+void
+HmacSha256::final(uint8_t *out)
+{
+    std::array<uint8_t, digestSize> inner_digest;
+    inner_.final(inner_digest.data());
+    Sha256 outer;
+    outer.update(opad_);
+    outer.update(inner_digest);
+    outer.final(out);
+}
+
+std::array<uint8_t, HmacSha256::digestSize>
+HmacSha256::mac(ByteSpan key, ByteSpan msg)
+{
+    HmacSha256 ctx(key);
+    ctx.update(msg);
+    std::array<uint8_t, digestSize> out;
+    ctx.final(out.data());
+    return out;
+}
+
+} // namespace herosign

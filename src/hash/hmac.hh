@@ -1,0 +1,42 @@
+/**
+ * @file
+ * HMAC-SHA-256 (RFC 2104 / FIPS 198-1), used by SPHINCS+ PRF_msg.
+ */
+
+#ifndef HEROSIGN_HASH_HMAC_HH
+#define HEROSIGN_HASH_HMAC_HH
+
+#include <array>
+
+#include "common/bytes.hh"
+#include "hash/sha256.hh"
+
+namespace herosign
+{
+
+/** Incremental HMAC-SHA-256. */
+class HmacSha256
+{
+  public:
+    static constexpr size_t digestSize = Sha256::digestSize;
+
+    /** Initialize with @p key (any length). */
+    explicit HmacSha256(ByteSpan key);
+
+    /** Absorb message data. */
+    void update(ByteSpan data);
+
+    /** Finalize the MAC into @p out (32 bytes). */
+    void final(uint8_t *out);
+
+    /** One-shot convenience. */
+    static std::array<uint8_t, digestSize> mac(ByteSpan key, ByteSpan msg);
+
+  private:
+    Sha256 inner_;
+    std::array<uint8_t, Sha256::blockSize> opad_;
+};
+
+} // namespace herosign
+
+#endif // HEROSIGN_HASH_HMAC_HH

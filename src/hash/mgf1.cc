@@ -1,0 +1,28 @@
+#include "hash/mgf1.hh"
+
+#include "hash/sha256.hh"
+
+namespace herosign
+{
+
+void
+mgf1Sha256(MutByteSpan out, ByteSpan seed)
+{
+    uint8_t counter_be[4];
+    size_t produced = 0;
+    uint32_t counter = 0;
+    while (produced < out.size()) {
+        storeBe32(counter_be, counter++);
+        Sha256 ctx;
+        ctx.update(seed);
+        ctx.update(ByteSpan(counter_be, 4));
+        uint8_t block[Sha256::digestSize];
+        ctx.final(block);
+        size_t take = std::min(out.size() - produced,
+                               sizeof(block));
+        std::memcpy(out.data() + produced, block, take);
+        produced += take;
+    }
+}
+
+} // namespace herosign

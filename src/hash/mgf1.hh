@@ -1,0 +1,23 @@
+/**
+ * @file
+ * MGF1 mask generation function over SHA-256 (RFC 8017 B.2.1), used by
+ * the SPHINCS+ sha256 instantiation of H_msg to stretch a digest to
+ * the message-digest length m.
+ */
+
+#ifndef HEROSIGN_HASH_MGF1_HH
+#define HEROSIGN_HASH_MGF1_HH
+
+#include "common/bytes.hh"
+
+namespace herosign
+{
+
+/**
+ * Fill @p out with MGF1-SHA-256(seed). Output length is out.size().
+ */
+void mgf1Sha256(MutByteSpan out, ByteSpan seed);
+
+} // namespace herosign
+
+#endif // HEROSIGN_HASH_MGF1_HH

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Software emulation of the PTX instructions HERO-Sign's hand-tuned
+ * SHA-2 branch relies on (paper Fig. 5): prmt.b32 byte permutation and
+ * mad.lo.u32 multiply-add. The emulated semantics follow the PTX ISA
+ * manual so the PTX-flavoured SHA-256 is bit-exact with the native one
+ * while exercising a distinct instruction mix that the GPU cost model
+ * prices separately.
+ */
+
+#ifndef HEROSIGN_HASH_PTX_EMU_HH
+#define HEROSIGN_HASH_PTX_EMU_HH
+
+#include <cstdint>
+
+namespace herosign
+{
+
+/**
+ * prmt.b32 d, a, b, c — pick four bytes out of the 64-bit value {b,a}
+ * according to the four selector nibbles in c (default mode, no sign
+ * or replicate flags). Selector nibble values 0-7 index bytes 0-7 of
+ * the concatenation (a holds bytes 0-3, b holds bytes 4-7).
+ */
+inline uint32_t
+ptxPrmt(uint32_t a, uint32_t b, uint32_t selector)
+{
+    uint64_t pool = (static_cast<uint64_t>(b) << 32) | a;
+    uint32_t result = 0;
+    for (int i = 0; i < 4; ++i) {
+        uint32_t sel = (selector >> (4 * i)) & 0x7;
+        uint32_t byte = static_cast<uint32_t>((pool >> (8 * sel)) & 0xff);
+        result |= byte << (8 * i);
+    }
+    return result;
+}
+
+/**
+ * The byte-reversal permutation "prmt.b32 d, a, 0, 0x0123" used to
+ * replace shift-based big-endian loads (paper Fig. 5, 32-bit case).
+ */
+inline uint32_t
+ptxByteSwap(uint32_t a)
+{
+    return ptxPrmt(a, 0, 0x0123);
+}
+
+/**
+ * mad.lo.u32 d, a, b, c — low 32 bits of a*b + c. The paper feeds an
+ * auxiliary multiplier m (=1) to stop ptxas from folding the mad back
+ * into IADD3; functionally it is an addition when b == 1.
+ */
+inline uint32_t
+ptxMadLo(uint32_t a, uint32_t b, uint32_t c)
+{
+    return a * b + c;
+}
+
+} // namespace herosign
+
+#endif // HEROSIGN_HASH_PTX_EMU_HH

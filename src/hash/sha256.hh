@@ -1,0 +1,100 @@
+/**
+ * @file
+ * SHA-256 (FIPS 180-4) with an incremental API and mid-state capture.
+ *
+ * Two compression-function implementations are provided:
+ *
+ *  * Variant::Native — the conventional shift/rotate implementation a
+ *    CUDA kernel would compile from plain C.
+ *  * Variant::Ptx    — a byte-permute (prmt) + multiply-add (mad)
+ *    flavoured implementation mirroring HERO-Sign's hand-written PTX
+ *    branch (paper §III-C, Fig. 5). It computes identical digests but
+ *    exercises a different instruction mix, which the GPU cost model
+ *    prices differently (fewer registers, different ALU profile).
+ *
+ * Mid-state capture (state after compressing whole blocks) enables the
+ * SPHINCS+ optimization of precomputing the state of the 64-byte
+ * pk_seed padding block once per keypair.
+ */
+
+#ifndef HEROSIGN_HASH_SHA256_HH
+#define HEROSIGN_HASH_SHA256_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hh"
+
+namespace herosign
+{
+
+/** Which SHA-256 compression implementation to use. */
+enum class Sha256Variant { Native, Ptx };
+
+/** Captured SHA-256 chaining state after a whole number of blocks. */
+struct Sha256State
+{
+    std::array<uint32_t, 8> h;
+    uint64_t bytesCompressed = 0;
+};
+
+/** Incremental SHA-256 hasher. */
+class Sha256
+{
+  public:
+    static constexpr size_t digestSize = 32;
+    static constexpr size_t blockSize = 64;
+
+    explicit Sha256(Sha256Variant variant = Sha256Variant::Native);
+
+    /** Resume from a previously captured mid-state. */
+    explicit Sha256(const Sha256State &state,
+                    Sha256Variant variant = Sha256Variant::Native);
+
+    /** Absorb @p data. */
+    void update(ByteSpan data);
+
+    /**
+     * Capture the chaining state. Only valid when a whole number of
+     * 64-byte blocks has been absorbed (no buffered partial block).
+     * @throws std::logic_error otherwise.
+     */
+    Sha256State midState() const;
+
+    /** Finalize into @p out (32 bytes). The hasher must not be reused. */
+    void final(uint8_t *out);
+
+    /** One-shot convenience. */
+    static std::array<uint8_t, digestSize>
+    digest(ByteSpan data, Sha256Variant variant = Sha256Variant::Native);
+
+    /**
+     * Global (thread-local) count of compression-function invocations;
+     * used by tests and by cost-model calibration to cross-check the
+     * analytic operation counts against real executions.
+     */
+    static uint64_t compressionCount();
+    static void resetCompressionCount();
+
+  private:
+    void compress(const uint8_t *block);
+
+    std::array<uint32_t, 8> h_;
+    uint8_t buf_[blockSize];
+    size_t bufLen_;
+    uint64_t total_;
+    Sha256Variant variant_;
+};
+
+/**
+ * Compression-function entry points (exposed for the PTX unit tests;
+ * normal users go through Sha256).
+ */
+void sha256CompressNative(std::array<uint32_t, 8> &state,
+                          const uint8_t *block);
+void sha256CompressPtx(std::array<uint32_t, 8> &state,
+                       const uint8_t *block);
+
+} // namespace herosign
+
+#endif // HEROSIGN_HASH_SHA256_HH

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * PTX-flavoured SHA-256 compression function.
+ *
+ * Mirrors the structure of HERO-Sign's hand-written PTX branch: message
+ * words are loaded with a single byte-permute (prmt) instead of four
+ * shift/or operations, and the round additions are expressed through
+ * mad.lo.u32 with the auxiliary multiplier m = 1 (paper §III-C.1). The
+ * digest is identical to the native implementation; only the
+ * instruction mix differs, which is what the GPU cost model prices.
+ */
+
+#include "hash/ptx_emu.hh"
+#include "hash/sha256.hh"
+
+namespace herosign
+{
+
+namespace
+{
+
+constexpr uint32_t K[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5,
+    0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
+    0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
+    0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc,
+    0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7,
+    0xc6e00bf3, 0xd5a79147, 0x06ca6351, 0x14292967,
+    0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85,
+    0xa2bfe8a1, 0xa81a664b, 0xc24b8b70, 0xc76c51a3,
+    0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5,
+    0x391c0cb3, 0x4ed8aa4a, 0x5b9cca4f, 0x682e6ff3,
+    0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2,
+};
+
+inline uint32_t
+rotr(uint32_t x, unsigned n)
+{
+    return (x >> n) | (x << (32 - n));
+}
+
+// The auxiliary multiplier the paper introduces to keep mad at SASS
+// level (Fig. 5, "example with m = 1").
+constexpr uint32_t mAux = 1;
+
+} // namespace
+
+void
+sha256CompressPtx(std::array<uint32_t, 8> &state, const uint8_t *block)
+{
+    uint32_t w[64];
+    // One prmt byte-permutation per word replaces the four-shift
+    // big-endian load of the native path.
+    for (int i = 0; i < 16; ++i) {
+        uint32_t raw;
+        std::memcpy(&raw, block + 4 * i, 4); // little-endian host load
+        w[i] = ptxByteSwap(raw);
+    }
+    for (int i = 16; i < 64; ++i) {
+        uint32_t s0 = rotr(w[i - 15], 7) ^ rotr(w[i - 15], 18) ^
+                      (w[i - 15] >> 3);
+        uint32_t s1 = rotr(w[i - 2], 17) ^ rotr(w[i - 2], 19) ^
+                      (w[i - 2] >> 10);
+        // w[i] = ((w[i-16]*1 + s0)*1 + w[i-7]) + s1, as chained mads.
+        uint32_t acc = ptxMadLo(w[i - 16], mAux, s0);
+        acc = ptxMadLo(acc, mAux, w[i - 7]);
+        w[i] = ptxMadLo(acc, mAux, s1);
+    }
+
+    uint32_t a = state[0], b = state[1], c = state[2], d = state[3];
+    uint32_t e = state[4], f = state[5], g = state[6], h = state[7];
+
+    for (int i = 0; i < 64; ++i) {
+        uint32_t s1 = rotr(e, 6) ^ rotr(e, 11) ^ rotr(e, 25);
+        uint32_t ch = (e & f) ^ (~e & g);
+        // t1 = h + s1 + ch + K[i] + w[i] as a mad chain.
+        uint32_t t1 = ptxMadLo(h, mAux, s1);
+        t1 = ptxMadLo(t1, mAux, ch);
+        t1 = ptxMadLo(t1, mAux, K[i]);
+        t1 = ptxMadLo(t1, mAux, w[i]);
+        uint32_t s0 = rotr(a, 2) ^ rotr(a, 13) ^ rotr(a, 22);
+        uint32_t maj = (a & b) ^ (a & c) ^ (b & c);
+        uint32_t t2 = ptxMadLo(s0, mAux, maj);
+        h = g;
+        g = f;
+        f = e;
+        e = ptxMadLo(d, mAux, t1);
+        d = c;
+        c = b;
+        b = a;
+        a = ptxMadLo(t1, mAux, t2);
+    }
+
+    state[0] += a;
+    state[1] += b;
+    state[2] += c;
+    state[3] += d;
+    state[4] += e;
+    state[5] += f;
+    state[6] += g;
+    state[7] += h;
+}
+
+} // namespace herosign

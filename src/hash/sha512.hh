@@ -1,0 +1,50 @@
+/**
+ * @file
+ * SHA-512 (FIPS 180-4), incremental API.
+ *
+ * Provided so library users can instantiate SPHINCS+ with SHA-512 at
+ * higher security levels (the paper keeps SHA-256 everywhere; see
+ * DESIGN.md "Hash baseline").
+ */
+
+#ifndef HEROSIGN_HASH_SHA512_HH
+#define HEROSIGN_HASH_SHA512_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hh"
+
+namespace herosign
+{
+
+/** Incremental SHA-512 hasher. */
+class Sha512
+{
+  public:
+    static constexpr size_t digestSize = 64;
+    static constexpr size_t blockSize = 128;
+
+    Sha512();
+
+    /** Absorb @p data. */
+    void update(ByteSpan data);
+
+    /** Finalize into @p out (64 bytes). The hasher must not be reused. */
+    void final(uint8_t *out);
+
+    /** One-shot convenience. */
+    static std::array<uint8_t, digestSize> digest(ByteSpan data);
+
+  private:
+    void compress(const uint8_t *block);
+
+    std::array<uint64_t, 8> h_;
+    uint8_t buf_[blockSize];
+    size_t bufLen_;
+    uint64_t total_;
+};
+
+} // namespace herosign
+
+#endif // HEROSIGN_HASH_SHA512_HH

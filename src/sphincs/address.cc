@@ -1,0 +1,84 @@
+#include "sphincs/address.hh"
+
+namespace herosign::sphincs
+{
+
+void
+Address::setLayer(uint32_t layer)
+{
+    storeBe32(bytes_.data(), layer);
+}
+
+void
+Address::setTree(uint64_t tree)
+{
+    // The tree field is 12 bytes (offsets 4..15); the top 4 bytes stay
+    // zero because tree indices fit in 64 bits for all parameter sets.
+    storeBe32(bytes_.data() + 4, 0);
+    storeBe64(bytes_.data() + 8, tree);
+}
+
+void
+Address::setType(AddrType type)
+{
+    storeBe32(bytes_.data() + 16, static_cast<uint32_t>(type));
+    storeBe32(bytes_.data() + 20, 0);
+    storeBe32(bytes_.data() + 24, 0);
+    storeBe32(bytes_.data() + 28, 0);
+}
+
+void
+Address::setKeypair(uint32_t keypair)
+{
+    storeBe32(bytes_.data() + 20, keypair);
+}
+
+void
+Address::setChain(uint32_t chain)
+{
+    storeBe32(bytes_.data() + 24, chain);
+}
+
+void
+Address::setHash(uint32_t hash)
+{
+    storeBe32(bytes_.data() + 28, hash);
+}
+
+void
+Address::setTreeHeight(uint32_t height)
+{
+    storeBe32(bytes_.data() + 24, height);
+}
+
+void
+Address::setTreeIndex(uint32_t index)
+{
+    storeBe32(bytes_.data() + 28, index);
+}
+
+void
+Address::copySubtree(const Address &other)
+{
+    std::memcpy(bytes_.data(), other.bytes_.data(), 16);
+}
+
+void
+Address::copyKeypair(const Address &other)
+{
+    std::memcpy(bytes_.data(), other.bytes_.data(), 16);
+    std::memcpy(bytes_.data() + 20, other.bytes_.data() + 20, 4);
+}
+
+std::array<uint8_t, Address::compressedSize>
+Address::compressed() const
+{
+    std::array<uint8_t, compressedSize> out;
+    out[0] = bytes_[3];                          // layer, low byte
+    std::memcpy(out.data() + 1, bytes_.data() + 8, 8);   // tree, low 8B
+    out[9] = bytes_[19];                         // type, low byte
+    std::memcpy(out.data() + 10, bytes_.data() + 20, 12);
+    return out;
+}
+
+} // namespace herosign::sphincs

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * SPHINCS+ hash-function addressing scheme (ADRS).
+ *
+ * A 32-byte structure that makes every hash call in the hypertree
+ * domain-separated. For the SHA-256 instantiation a compressed 22-byte
+ * form is fed to the hash (layer 1B | tree 8B | type 1B | 12B of
+ * type-specific words).
+ */
+
+#ifndef HEROSIGN_SPHINCS_ADDRESS_HH
+#define HEROSIGN_SPHINCS_ADDRESS_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hh"
+
+namespace herosign::sphincs
+{
+
+/** ADRS type constants (spec §2.7.3 + v3.1 PRF types). */
+enum class AddrType : uint32_t
+{
+    WotsHash = 0,
+    WotsPk = 1,
+    Tree = 2,
+    ForsTree = 3,
+    ForsRoots = 4,
+    WotsPrf = 5,
+    ForsPrf = 6,
+};
+
+/** A 32-byte SPHINCS+ hash address. */
+class Address
+{
+  public:
+    static constexpr size_t fullSize = 32;
+    static constexpr size_t compressedSize = 22;
+
+    Address() { bytes_.fill(0); }
+
+    /** Set the hypertree layer (word 0). */
+    void setLayer(uint32_t layer);
+
+    /** Set the 64-bit tree index (low 8 bytes of the 12-byte field). */
+    void setTree(uint64_t tree);
+
+    /**
+     * Set the address type. Per the spec, changing the type zeroes the
+     * three type-specific words.
+     */
+    void setType(AddrType type);
+
+    /** Keypair index within the subtree (WOTS/FORS addresses). */
+    void setKeypair(uint32_t keypair);
+
+    /** WOTS chain index. */
+    void setChain(uint32_t chain);
+
+    /** WOTS position within the chain. */
+    void setHash(uint32_t hash);
+
+    /** Node height inside a Merkle tree (Tree/ForsTree addresses). */
+    void setTreeHeight(uint32_t height);
+
+    /** Node index inside a Merkle tree level. */
+    void setTreeIndex(uint32_t index);
+
+    uint32_t layer() const { return loadBe32(bytes_.data()); }
+    uint64_t tree() const { return loadBe64(bytes_.data() + 8); }
+    AddrType type() const
+    {
+        return static_cast<AddrType>(loadBe32(bytes_.data() + 16));
+    }
+    uint32_t keypair() const { return loadBe32(bytes_.data() + 20); }
+    uint32_t chain() const { return loadBe32(bytes_.data() + 24); }
+    uint32_t hash() const { return loadBe32(bytes_.data() + 28); }
+    uint32_t treeHeight() const { return loadBe32(bytes_.data() + 24); }
+    uint32_t treeIndex() const { return loadBe32(bytes_.data() + 28); }
+
+    /** Copy the layer + tree fields (bytes 0..15) from @p other. */
+    void copySubtree(const Address &other);
+
+    /** Copy layer + tree + keypair from @p other. */
+    void copyKeypair(const Address &other);
+
+    /** The full 32-byte encoding. */
+    ByteSpan full() const { return ByteSpan(bytes_.data(), fullSize); }
+
+    /** The 22-byte compressed encoding for SHA-256 tweaks. */
+    std::array<uint8_t, compressedSize> compressed() const;
+
+    bool operator==(const Address &other) const
+    {
+        return bytes_ == other.bytes_;
+    }
+
+  private:
+    std::array<uint8_t, fullSize> bytes_;
+};
+
+} // namespace herosign::sphincs
+
+#endif // HEROSIGN_SPHINCS_ADDRESS_HH

@@ -1,0 +1,28 @@
+#include "sphincs/context.hh"
+
+#include <stdexcept>
+
+namespace herosign::sphincs
+{
+
+Context::Context(const Params &params, ByteSpan pk_seed, ByteSpan sk_seed,
+                 Sha256Variant variant)
+    : params_(params), pkSeed_(pk_seed.begin(), pk_seed.end()),
+      skSeed_(sk_seed.begin(), sk_seed.end()), variant_(variant)
+{
+    params_.validate();
+    if (pkSeed_.size() != params_.n)
+        throw std::invalid_argument("Context: pk_seed must be n bytes");
+    if (!skSeed_.empty() && skSeed_.size() != params_.n)
+        throw std::invalid_argument("Context: sk_seed must be n bytes");
+
+    // Precompute SHA-256 state of the padded seed block
+    // pk_seed || toByte(0, 64 - n): exactly one compression.
+    uint8_t block[Sha256::blockSize] = {};
+    std::memcpy(block, pkSeed_.data(), params_.n);
+    Sha256 hasher(variant_);
+    hasher.update(ByteSpan(block, sizeof(block)));
+    seeded_ = hasher.midState();
+}
+
+} // namespace herosign::sphincs

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Per-keypair hashing context.
+ *
+ * Holds the parameter set, the seeds, and the captured SHA-256
+ * mid-state of the 64-byte block "pk_seed || toByte(0, 64-n)". Every
+ * tweakable hash call (T/F/H/PRF) starts from that mid-state, which is
+ * both the spec's intent and the optimization every fast SPHINCS+
+ * implementation (including HERO-Sign) relies on.
+ */
+
+#ifndef HEROSIGN_SPHINCS_CONTEXT_HH
+#define HEROSIGN_SPHINCS_CONTEXT_HH
+
+#include "common/bytes.hh"
+#include "hash/sha256.hh"
+#include "sphincs/params.hh"
+
+namespace herosign::sphincs
+{
+
+/** Hashing context bound to one keypair (or one public key). */
+class Context
+{
+  public:
+    /**
+     * Build a signing context.
+     * @param params parameter set
+     * @param pk_seed public seed (n bytes)
+     * @param sk_seed secret seed (n bytes; empty for verify-only)
+     * @param variant which SHA-256 implementation to run
+     */
+    Context(const Params &params, ByteSpan pk_seed, ByteSpan sk_seed,
+            Sha256Variant variant = Sha256Variant::Native);
+
+    const Params &params() const { return params_; }
+    ByteSpan pkSeed() const { return pkSeed_; }
+    ByteSpan skSeed() const { return skSeed_; }
+    Sha256Variant variant() const { return variant_; }
+
+    /** True if this context can derive secrets (sk_seed present). */
+    bool canSign() const { return !skSeed_.empty(); }
+
+    /** The precomputed mid-state of pk_seed || zero padding. */
+    const Sha256State &seededState() const { return seeded_; }
+
+    /** Start a hasher resumed from the seeded mid-state. */
+    Sha256 seededHasher() const { return Sha256(seeded_, variant_); }
+
+  private:
+    Params params_;
+    ByteVec pkSeed_;
+    ByteVec skSeed_;
+    Sha256Variant variant_;
+    Sha256State seeded_;
+};
+
+} // namespace herosign::sphincs
+
+#endif // HEROSIGN_SPHINCS_CONTEXT_HH

@@ -1,0 +1,124 @@
+#include "sphincs/fors.hh"
+
+#include "sphincs/merkle.hh"
+#include "sphincs/thash.hh"
+
+namespace herosign::sphincs
+{
+
+void
+messageToIndices(uint32_t *indices, const Params &params,
+                 const uint8_t *mhash)
+{
+    const unsigned a = params.forsHeight;
+    size_t offset = 0; // bit offset into mhash
+    for (unsigned i = 0; i < params.forsTrees; ++i) {
+        uint32_t idx = 0;
+        for (unsigned bit = 0; bit < a; ++bit) {
+            idx <<= 1;
+            idx |= (mhash[offset >> 3] >> (7 - (offset & 7))) & 1u;
+            ++offset;
+        }
+        indices[i] = idx;
+    }
+}
+
+void
+forsSkGen(uint8_t *out, const Context &ctx, const Address &fors_adrs,
+          uint32_t idx)
+{
+    Address sk_adrs = fors_adrs;
+    sk_adrs.setType(AddrType::ForsPrf);
+    sk_adrs.setKeypair(fors_adrs.keypair());
+    sk_adrs.setTreeHeight(0);
+    sk_adrs.setTreeIndex(idx);
+    prfAddr(out, ctx, sk_adrs);
+}
+
+void
+forsGenLeaf(uint8_t *out, const Context &ctx, const Address &fors_adrs,
+            uint32_t idx)
+{
+    uint8_t sk[maxN];
+    forsSkGen(sk, ctx, fors_adrs, idx);
+    Address leaf_adrs = fors_adrs;
+    leaf_adrs.setTreeHeight(0);
+    leaf_adrs.setTreeIndex(idx);
+    thashF(out, ctx, leaf_adrs, sk);
+}
+
+void
+forsSign(uint8_t *sig, uint8_t *pk_out, const uint8_t *mhash,
+         const Context &ctx, const Address &fors_adrs)
+{
+    const Params &p = ctx.params();
+    const unsigned n = p.n;
+    const uint32_t t = p.forsLeaves();
+
+    uint32_t indices[64];
+    messageToIndices(indices, p, mhash);
+
+    uint8_t roots[64 * maxN];
+    for (unsigned i = 0; i < p.forsTrees; ++i) {
+        const uint32_t idx_offset = i * t;
+
+        // Selected secret value.
+        forsSkGen(sig, ctx, fors_adrs, indices[i] + idx_offset);
+        sig += n;
+
+        // Merkle tree over this subset, rooted at roots[i].
+        Address tree_adrs = fors_adrs;
+        tree_adrs.setType(AddrType::ForsTree);
+        tree_adrs.setKeypair(fors_adrs.keypair());
+        auto gen_leaf = [&](uint8_t *out, uint32_t idx) {
+            forsGenLeaf(out, ctx, tree_adrs, idx + idx_offset);
+        };
+        treehash(roots + i * n, sig, ctx, indices[i], idx_offset,
+                 p.forsHeight, gen_leaf, tree_adrs);
+        sig += p.forsHeight * n;
+    }
+
+    Address pk_adrs = fors_adrs;
+    pk_adrs.setType(AddrType::ForsRoots);
+    pk_adrs.setKeypair(fors_adrs.keypair());
+    thash(pk_out, ctx, pk_adrs, ByteSpan(roots, p.forsTrees * n));
+}
+
+void
+forsPkFromSig(uint8_t *pk_out, const uint8_t *sig, const uint8_t *mhash,
+              const Context &ctx, const Address &fors_adrs)
+{
+    const Params &p = ctx.params();
+    const unsigned n = p.n;
+    const uint32_t t = p.forsLeaves();
+
+    uint32_t indices[64];
+    messageToIndices(indices, p, mhash);
+
+    uint8_t roots[64 * maxN];
+    for (unsigned i = 0; i < p.forsTrees; ++i) {
+        const uint32_t idx_offset = i * t;
+
+        Address tree_adrs = fors_adrs;
+        tree_adrs.setType(AddrType::ForsTree);
+        tree_adrs.setKeypair(fors_adrs.keypair());
+
+        // Leaf from the revealed secret value.
+        uint8_t leaf[maxN];
+        tree_adrs.setTreeHeight(0);
+        tree_adrs.setTreeIndex(indices[i] + idx_offset);
+        thashF(leaf, ctx, tree_adrs, sig);
+        sig += n;
+
+        computeRoot(roots + i * n, ctx, leaf, indices[i], idx_offset,
+                    sig, p.forsHeight, tree_adrs);
+        sig += p.forsHeight * n;
+    }
+
+    Address pk_adrs = fors_adrs;
+    pk_adrs.setType(AddrType::ForsRoots);
+    pk_adrs.setKeypair(fors_adrs.keypair());
+    thash(pk_out, ctx, pk_adrs, ByteSpan(roots, p.forsTrees * n));
+}
+
+} // namespace herosign::sphincs

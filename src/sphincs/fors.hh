@@ -1,0 +1,65 @@
+/**
+ * @file
+ * FORS — Forest of Random Subsets (spec §5). k Merkle trees of height
+ * a; the message digest selects one leaf per tree. Each tree is
+ * independent, the property HERO-Sign's FORS Fusion builds on
+ * (paper §III-B).
+ */
+
+#ifndef HEROSIGN_SPHINCS_FORS_HH
+#define HEROSIGN_SPHINCS_FORS_HH
+
+#include "common/bytes.hh"
+#include "sphincs/address.hh"
+#include "sphincs/context.hh"
+
+namespace herosign::sphincs
+{
+
+/**
+ * Extract the k FORS leaf indices (a bits each, MSB first) from the
+ * message-hash prefix.
+ * @param indices out, k entries in [0, 2^a)
+ * @param mhash at least forsMsgBytes() bytes
+ */
+void messageToIndices(uint32_t *indices, const Params &params,
+                      const uint8_t *mhash);
+
+/**
+ * Derive the FORS secret leaf value at absolute leaf index @p idx
+ * (idx = tree * t + leaf).
+ * @param fors_adrs ForsTree-typed address with layer/tree/keypair set
+ */
+void forsSkGen(uint8_t *out, const Context &ctx, const Address &fors_adrs,
+               uint32_t idx);
+
+/**
+ * Compute the FORS leaf (F of the secret value) at absolute index
+ * @p idx.
+ */
+void forsGenLeaf(uint8_t *out, const Context &ctx,
+                 const Address &fors_adrs, uint32_t idx);
+
+/**
+ * FORS signature: for each of the k trees, the selected secret value
+ * followed by its authentication path.
+ * @param sig out, forsSigBytes()
+ * @param pk_out out, n bytes: the FORS public key (root compression),
+ *        which is the message signed by the bottom hypertree layer
+ * @param mhash the message-digest prefix (forsMsgBytes() bytes)
+ * @param fors_adrs ForsTree-typed address with layer(0)/tree/keypair
+ */
+void forsSign(uint8_t *sig, uint8_t *pk_out, const uint8_t *mhash,
+              const Context &ctx, const Address &fors_adrs);
+
+/**
+ * Verification direction: recompute the FORS public key from a
+ * signature.
+ */
+void forsPkFromSig(uint8_t *pk_out, const uint8_t *sig,
+                   const uint8_t *mhash, const Context &ctx,
+                   const Address &fors_adrs);
+
+} // namespace herosign::sphincs
+
+#endif // HEROSIGN_SPHINCS_FORS_HH

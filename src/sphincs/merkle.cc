@@ -1,0 +1,114 @@
+#include "sphincs/merkle.hh"
+
+#include <vector>
+
+#include "sphincs/thash.hh"
+#include "sphincs/wots.hh"
+
+namespace herosign::sphincs
+{
+
+void
+treehash(uint8_t *root, uint8_t *auth_path, const Context &ctx,
+         uint32_t leaf_idx, uint32_t idx_offset, unsigned height,
+         const LeafFn &gen_leaf, Address &tree_adrs)
+{
+    const unsigned n = ctx.params().n;
+    // Node stack: at most height+1 entries, each n bytes, plus the
+    // height of each stacked node.
+    std::vector<uint8_t> stack((height + 1) * n);
+    std::vector<unsigned> stack_heights;
+    stack_heights.reserve(height + 1);
+
+    const uint32_t leaves = 1u << height;
+    for (uint32_t idx = 0; idx < leaves; ++idx) {
+        uint8_t node[maxN];
+        gen_leaf(node, idx);
+
+        unsigned node_height = 0;
+        if (auth_path && (leaf_idx ^ 1u) == idx)
+            std::memcpy(auth_path, node, n);
+
+        while (!stack_heights.empty() &&
+               stack_heights.back() == node_height) {
+            // Combine the stacked left sibling with this node.
+            tree_adrs.setTreeHeight(node_height + 1);
+            tree_adrs.setTreeIndex((idx >> (node_height + 1)) +
+                                   (idx_offset >> (node_height + 1)));
+            const uint8_t *left =
+                stack.data() + (stack_heights.size() - 1) * n;
+            thashH(node, ctx, tree_adrs, left, node);
+            stack_heights.pop_back();
+            ++node_height;
+
+            if (auth_path &&
+                ((leaf_idx >> node_height) ^ 1u) == (idx >> node_height)) {
+                std::memcpy(auth_path + node_height * n, node, n);
+            }
+        }
+        std::memcpy(stack.data() + stack_heights.size() * n, node, n);
+        stack_heights.push_back(node_height);
+    }
+    std::memcpy(root, stack.data(), n);
+}
+
+void
+computeRoot(uint8_t *root, const Context &ctx, const uint8_t *leaf,
+            uint32_t leaf_idx, uint32_t idx_offset,
+            const uint8_t *auth_path, unsigned height, Address &tree_adrs)
+{
+    const unsigned n = ctx.params().n;
+    uint8_t node[maxN];
+    std::memcpy(node, leaf, n);
+
+    for (unsigned h = 0; h < height; ++h) {
+        tree_adrs.setTreeHeight(h + 1);
+        tree_adrs.setTreeIndex((leaf_idx >> (h + 1)) +
+                               (idx_offset >> (h + 1)));
+        if ((leaf_idx >> h) & 1u)
+            thashH(node, ctx, tree_adrs, auth_path + h * n, node);
+        else
+            thashH(node, ctx, tree_adrs, node, auth_path + h * n);
+    }
+    std::memcpy(root, node, n);
+}
+
+void
+wotsGenLeaf(uint8_t *leaf_out, const Context &ctx, uint32_t layer,
+            uint64_t tree, uint32_t leaf_idx)
+{
+    Address adrs;
+    adrs.setLayer(layer);
+    adrs.setTree(tree);
+    adrs.setType(AddrType::WotsHash);
+    adrs.setKeypair(leaf_idx);
+    wotsPkGen(leaf_out, ctx, adrs);
+}
+
+void
+merkleSign(uint8_t *sig, uint8_t *root_out, const Context &ctx,
+           uint32_t layer, uint64_t tree, uint32_t leaf_idx,
+           const uint8_t *msg)
+{
+    const Params &p = ctx.params();
+
+    Address wots_adrs;
+    wots_adrs.setLayer(layer);
+    wots_adrs.setTree(tree);
+    wots_adrs.setType(AddrType::WotsHash);
+    wots_adrs.setKeypair(leaf_idx);
+    wotsSign(sig, msg, ctx, wots_adrs);
+
+    Address tree_adrs;
+    tree_adrs.setLayer(layer);
+    tree_adrs.setTree(tree);
+    tree_adrs.setType(AddrType::Tree);
+
+    auto gen_leaf = [&](uint8_t *out, uint32_t idx) {
+        wotsGenLeaf(out, ctx, layer, tree, idx);
+    };
+    treehash(root_out, sig + p.wotsSigBytes(), ctx, leaf_idx, 0,
+             p.treeHeight(), gen_leaf, tree_adrs);
+}
+
+} // namespace herosign::sphincs

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Merkle tree machinery shared by FORS and the hypertree (MSS):
+ * stack-based treehash with authentication-path extraction, the
+ * verification-side root reconstruction, and the MSS layer signing
+ * step (WOTS+ sign + auth path) of paper §II-A3/A4.
+ */
+
+#ifndef HEROSIGN_SPHINCS_MERKLE_HH
+#define HEROSIGN_SPHINCS_MERKLE_HH
+
+#include <functional>
+
+#include "common/bytes.hh"
+#include "sphincs/address.hh"
+#include "sphincs/context.hh"
+
+namespace herosign::sphincs
+{
+
+/**
+ * Leaf generator callback: produce the n-byte leaf with *local* index
+ * @p leaf_idx (offsets are applied by the callback via its captured
+ * addressing state).
+ */
+using LeafFn = std::function<void(uint8_t *out, uint32_t leaf_idx)>;
+
+/**
+ * Stack-based treehash: computes the root of a 2^height-leaf Merkle
+ * tree and the authentication path for @p leaf_idx.
+ *
+ * @param root out, n bytes
+ * @param auth_path out, height * n bytes (may be nullptr to skip)
+ * @param leaf_idx index of the authenticated leaf (local, 0-based)
+ * @param idx_offset added to node indices in the hash addresses (used
+ *        by FORS where tree i starts at leaf index i * t)
+ * @param height tree height
+ * @param gen_leaf leaf generator (receives local index; must apply
+ *        idx_offset itself when addressing)
+ * @param tree_adrs address with layer/tree/type set; height/index
+ *        fields are managed here
+ */
+void treehash(uint8_t *root, uint8_t *auth_path, const Context &ctx,
+              uint32_t leaf_idx, uint32_t idx_offset, unsigned height,
+              const LeafFn &gen_leaf, Address &tree_adrs);
+
+/**
+ * Verification-side root reconstruction from a leaf and its auth path.
+ */
+void computeRoot(uint8_t *root, const Context &ctx, const uint8_t *leaf,
+                 uint32_t leaf_idx, uint32_t idx_offset,
+                 const uint8_t *auth_path, unsigned height,
+                 Address &tree_adrs);
+
+/**
+ * Generate the hypertree leaf (compressed WOTS+ public key) for
+ * keypair @p leaf_idx in the subtree addressed by layer/tree.
+ */
+void wotsGenLeaf(uint8_t *leaf_out, const Context &ctx, uint32_t layer,
+                 uint64_t tree, uint32_t leaf_idx);
+
+/**
+ * One MSS layer of the hypertree signature: WOTS+-sign @p msg with
+ * keypair @p leaf_idx of subtree (layer, tree), emit the WOTS+
+ * signature followed by the auth path, and return the subtree root.
+ *
+ * @param sig out, xmssSigBytes() = wots sig + treeHeight * n
+ * @param root_out out, n bytes: the subtree root (message for the
+ *        next layer)
+ */
+void merkleSign(uint8_t *sig, uint8_t *root_out, const Context &ctx,
+                uint32_t layer, uint64_t tree, uint32_t leaf_idx,
+                const uint8_t *msg);
+
+} // namespace herosign::sphincs
+
+#endif // HEROSIGN_SPHINCS_MERKLE_HH

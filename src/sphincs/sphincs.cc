@@ -1,0 +1,263 @@
+#include "sphincs/sphincs.hh"
+
+#include <stdexcept>
+
+#include "sphincs/fors.hh"
+#include "sphincs/merkle.hh"
+#include "sphincs/thash.hh"
+#include "sphincs/wots.hh"
+
+namespace herosign::sphincs
+{
+
+namespace
+{
+
+uint64_t
+maskBits(unsigned bits)
+{
+    return bits >= 64 ? ~0ULL : ((1ULL << bits) - 1);
+}
+
+uint64_t
+bytesToU64(const uint8_t *in, size_t len)
+{
+    uint64_t v = 0;
+    for (size_t i = 0; i < len; ++i)
+        v = (v << 8) | in[i];
+    return v;
+}
+
+} // namespace
+
+ByteVec
+SecretKey::encode() const
+{
+    ByteVec out;
+    out.reserve(params.skBytes());
+    append(out, skSeed);
+    append(out, skPrf);
+    append(out, pkSeed);
+    append(out, pkRoot);
+    return out;
+}
+
+SecretKey
+SecretKey::decode(const Params &params, ByteSpan bytes)
+{
+    if (bytes.size() != params.skBytes())
+        throw std::invalid_argument("SecretKey: wrong length");
+    const unsigned n = params.n;
+    SecretKey sk;
+    sk.params = params;
+    sk.skSeed.assign(bytes.begin(), bytes.begin() + n);
+    sk.skPrf.assign(bytes.begin() + n, bytes.begin() + 2 * n);
+    sk.pkSeed.assign(bytes.begin() + 2 * n, bytes.begin() + 3 * n);
+    sk.pkRoot.assign(bytes.begin() + 3 * n, bytes.begin() + 4 * n);
+    return sk;
+}
+
+ByteVec
+PublicKey::encode() const
+{
+    ByteVec out;
+    out.reserve(params.pkBytes());
+    append(out, pkSeed);
+    append(out, pkRoot);
+    return out;
+}
+
+PublicKey
+PublicKey::decode(const Params &params, ByteSpan bytes)
+{
+    if (bytes.size() != params.pkBytes())
+        throw std::invalid_argument("PublicKey: wrong length");
+    const unsigned n = params.n;
+    PublicKey pk;
+    pk.params = params;
+    pk.pkSeed.assign(bytes.begin(), bytes.begin() + n);
+    pk.pkRoot.assign(bytes.begin() + n, bytes.begin() + 2 * n);
+    return pk;
+}
+
+DigestSplit
+splitDigest(const Params &params, ByteSpan digest)
+{
+    if (digest.size() < params.msgDigestBytes())
+        throw std::invalid_argument("splitDigest: digest too short");
+
+    DigestSplit out;
+    const size_t fors_bytes = params.forsMsgBytes();
+    const size_t tree_bytes = (params.treeBits() + 7) / 8;
+    const size_t leaf_bytes = (params.leafBits() + 7) / 8;
+
+    out.forsMsg.assign(digest.begin(), digest.begin() + fors_bytes);
+    out.idxTree = bytesToU64(digest.data() + fors_bytes, tree_bytes) &
+                  maskBits(params.treeBits());
+    out.idxLeaf = static_cast<uint32_t>(
+        bytesToU64(digest.data() + fors_bytes + tree_bytes, leaf_bytes) &
+        maskBits(params.leafBits()));
+    return out;
+}
+
+SphincsPlus::SphincsPlus(const Params &params, Sha256Variant variant)
+    : params_(params), variant_(variant)
+{
+    params_.validate();
+}
+
+ByteVec
+SphincsPlus::computePkRoot(ByteSpan sk_seed, ByteSpan pk_seed) const
+{
+    Context ctx(params_, pk_seed, sk_seed, variant_);
+    const uint32_t top_layer = params_.layers - 1;
+
+    Address tree_adrs;
+    tree_adrs.setLayer(top_layer);
+    tree_adrs.setTree(0);
+    tree_adrs.setType(AddrType::Tree);
+
+    ByteVec root(params_.n);
+    auto gen_leaf = [&](uint8_t *out, uint32_t idx) {
+        wotsGenLeaf(out, ctx, top_layer, 0, idx);
+    };
+    treehash(root.data(), nullptr, ctx, 0, 0, params_.treeHeight(),
+             gen_leaf, tree_adrs);
+    return root;
+}
+
+KeyPair
+SphincsPlus::keygen(Rng &rng) const
+{
+    ByteVec seed = rng.bytes(3 * static_cast<size_t>(params_.n));
+    return keygenFromSeed(seed);
+}
+
+KeyPair
+SphincsPlus::keygenFromSeed(ByteSpan seed) const
+{
+    const unsigned n = params_.n;
+    if (seed.size() != 3 * static_cast<size_t>(n))
+        throw std::invalid_argument("keygenFromSeed: need 3n bytes");
+
+    KeyPair kp;
+    kp.sk.params = params_;
+    kp.sk.skSeed.assign(seed.begin(), seed.begin() + n);
+    kp.sk.skPrf.assign(seed.begin() + n, seed.begin() + 2 * n);
+    kp.sk.pkSeed.assign(seed.begin() + 2 * n, seed.begin() + 3 * n);
+    kp.sk.pkRoot = computePkRoot(kp.sk.skSeed, kp.sk.pkSeed);
+
+    kp.pk.params = params_;
+    kp.pk.pkSeed = kp.sk.pkSeed;
+    kp.pk.pkRoot = kp.sk.pkRoot;
+    return kp;
+}
+
+ByteVec
+SphincsPlus::sign(ByteSpan msg, const SecretKey &sk,
+                  ByteSpan opt_rand) const
+{
+    const unsigned n = params_.n;
+    Context ctx(params_, sk.pkSeed, sk.skSeed, variant_);
+
+    ByteVec sig(params_.sigBytes());
+    uint8_t *out = sig.data();
+
+    // R = PRF_msg(sk_prf, opt_rand, msg); deterministic variant uses
+    // opt_rand = pk_seed.
+    ByteSpan rand = opt_rand.empty() ? ByteSpan(sk.pkSeed) : opt_rand;
+    if (rand.size() != n)
+        throw std::invalid_argument("sign: opt_rand must be n bytes");
+    prfMsg(out, ctx, sk.skPrf, rand, msg);
+    ByteSpan r(out, n);
+    out += n;
+
+    // Message digest and index split.
+    ByteVec digest(params_.msgDigestBytes());
+    hashMessage(digest, ctx, r, sk.pkRoot, msg);
+    DigestSplit split = splitDigest(params_, digest);
+
+    uint64_t idx_tree = split.idxTree;
+    uint32_t idx_leaf = split.idxLeaf;
+
+    // FORS at the bottom.
+    Address fors_adrs;
+    fors_adrs.setLayer(0);
+    fors_adrs.setTree(idx_tree);
+    fors_adrs.setType(AddrType::ForsTree);
+    fors_adrs.setKeypair(idx_leaf);
+
+    uint8_t root[maxN];
+    forsSign(out, root, split.forsMsg.data(), ctx, fors_adrs);
+    out += params_.forsSigBytes();
+
+    // Hypertree layers, bottom-up (paper Fig. 2 snippet).
+    for (uint32_t layer = 0; layer < params_.layers; ++layer) {
+        merkleSign(out, root, ctx, layer, idx_tree, idx_leaf, root);
+        out += params_.xmssSigBytes();
+        idx_leaf = static_cast<uint32_t>(idx_tree &
+                                         maskBits(params_.treeHeight()));
+        idx_tree >>= params_.treeHeight();
+    }
+
+    return sig;
+}
+
+bool
+SphincsPlus::verify(ByteSpan msg, ByteSpan sig, const PublicKey &pk) const
+{
+    const unsigned n = params_.n;
+    if (sig.size() != params_.sigBytes())
+        return false;
+
+    Context ctx(params_, pk.pkSeed, {}, variant_);
+    const uint8_t *in = sig.data();
+
+    ByteSpan r(in, n);
+    in += n;
+
+    ByteVec digest(params_.msgDigestBytes());
+    hashMessage(digest, ctx, r, pk.pkRoot, msg);
+    DigestSplit split = splitDigest(params_, digest);
+
+    uint64_t idx_tree = split.idxTree;
+    uint32_t idx_leaf = split.idxLeaf;
+
+    Address fors_adrs;
+    fors_adrs.setLayer(0);
+    fors_adrs.setTree(idx_tree);
+    fors_adrs.setType(AddrType::ForsTree);
+    fors_adrs.setKeypair(idx_leaf);
+
+    uint8_t root[maxN];
+    forsPkFromSig(root, in, split.forsMsg.data(), ctx, fors_adrs);
+    in += params_.forsSigBytes();
+
+    for (uint32_t layer = 0; layer < params_.layers; ++layer) {
+        Address wots_adrs;
+        wots_adrs.setLayer(layer);
+        wots_adrs.setTree(idx_tree);
+        wots_adrs.setType(AddrType::WotsHash);
+        wots_adrs.setKeypair(idx_leaf);
+
+        uint8_t leaf[maxN];
+        wotsPkFromSig(leaf, in, root, ctx, wots_adrs);
+        in += params_.wotsSigBytes();
+
+        Address tree_adrs;
+        tree_adrs.setLayer(layer);
+        tree_adrs.setTree(idx_tree);
+        tree_adrs.setType(AddrType::Tree);
+        computeRoot(root, ctx, leaf, idx_leaf, 0, in,
+                    params_.treeHeight(), tree_adrs);
+        in += params_.treeHeight() * n;
+
+        idx_leaf = static_cast<uint32_t>(idx_tree &
+                                         maskBits(params_.treeHeight()));
+        idx_tree >>= params_.treeHeight();
+    }
+
+    return ctEqual(ByteSpan(root, n), pk.pkRoot);
+}
+
+} // namespace herosign::sphincs

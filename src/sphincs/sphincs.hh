@@ -1,0 +1,118 @@
+/**
+ * @file
+ * SPHINCS+ top level: key generation, signing and verification
+ * (scalar CPU reference implementation). This is the library's
+ * correctness oracle — the GPU-simulated engines must produce
+ * byte-identical signatures.
+ */
+
+#ifndef HEROSIGN_SPHINCS_SPHINCS_HH
+#define HEROSIGN_SPHINCS_SPHINCS_HH
+
+#include <optional>
+
+#include "common/bytes.hh"
+#include "common/random.hh"
+#include "sphincs/context.hh"
+#include "sphincs/params.hh"
+
+namespace herosign::sphincs
+{
+
+/** A SPHINCS+ secret key (sk_seed, sk_prf, pk_seed, pk_root). */
+struct SecretKey
+{
+    Params params;
+    ByteVec skSeed;
+    ByteVec skPrf;
+    ByteVec pkSeed;
+    ByteVec pkRoot;
+
+    /** Serialize as sk_seed || sk_prf || pk_seed || pk_root. */
+    ByteVec encode() const;
+
+    /** Parse from the serialized form. */
+    static SecretKey decode(const Params &params, ByteSpan bytes);
+};
+
+/** A SPHINCS+ public key (pk_seed, pk_root). */
+struct PublicKey
+{
+    Params params;
+    ByteVec pkSeed;
+    ByteVec pkRoot;
+
+    /** Serialize as pk_seed || pk_root. */
+    ByteVec encode() const;
+
+    /** Parse from the serialized form. */
+    static PublicKey decode(const Params &params, ByteSpan bytes);
+};
+
+/** A generated keypair. */
+struct KeyPair
+{
+    SecretKey sk;
+    PublicKey pk;
+};
+
+/**
+ * The (idx_tree, idx_leaf, fors message) selection extracted from the
+ * H_msg digest (spec Alg. 20 lines 7-12).
+ */
+struct DigestSplit
+{
+    ByteVec forsMsg;    ///< ceil(k*a/8) bytes feeding FORS
+    uint64_t idxTree;   ///< which bottom-layer subtree chain
+    uint32_t idxLeaf;   ///< leaf within the bottom subtree
+};
+
+/** Split an H_msg digest into its three fields. */
+DigestSplit splitDigest(const Params &params, ByteSpan digest);
+
+/**
+ * The SPHINCS+ signature scheme over one parameter set.
+ *
+ * All methods are deterministic given their inputs; randomized signing
+ * is obtained by passing fresh opt_rand.
+ */
+class SphincsPlus
+{
+  public:
+    explicit SphincsPlus(const Params &params,
+                         Sha256Variant variant = Sha256Variant::Native);
+
+    const Params &params() const { return params_; }
+
+    /** Generate a keypair from an RNG (draws 3n seed bytes). */
+    KeyPair keygen(Rng &rng) const;
+
+    /**
+     * Generate a keypair from a fixed 3n-byte seed
+     * (sk_seed || sk_prf || pk_seed) — deterministic, for tests.
+     */
+    KeyPair keygenFromSeed(ByteSpan seed) const;
+
+    /**
+     * Sign @p msg.
+     * @param opt_rand n bytes of signing randomness; empty selects the
+     *        deterministic variant (opt_rand = pk_seed).
+     * @return the sigBytes()-long signature
+     */
+    ByteVec sign(ByteSpan msg, const SecretKey &sk,
+                 ByteSpan opt_rand = {}) const;
+
+    /** Verify @p sig over @p msg under @p pk. */
+    bool verify(ByteSpan msg, ByteSpan sig, const PublicKey &pk) const;
+
+    /** Compute the hypertree root for a secret key (keygen internal). */
+    ByteVec computePkRoot(ByteSpan sk_seed, ByteSpan pk_seed) const;
+
+  private:
+    Params params_;
+    Sha256Variant variant_;
+};
+
+} // namespace herosign::sphincs
+
+#endif // HEROSIGN_SPHINCS_SPHINCS_HH

@@ -1,0 +1,61 @@
+#include "sphincs/thash.hh"
+
+#include "hash/hmac.hh"
+#include "hash/mgf1.hh"
+
+namespace herosign::sphincs
+{
+
+void
+thash(uint8_t *out, const Context &ctx, const Address &adrs, ByteSpan in)
+{
+    Sha256 hasher = ctx.seededHasher();
+    auto adrs_c = adrs.compressed();
+    hasher.update(ByteSpan(adrs_c.data(), adrs_c.size()));
+    hasher.update(in);
+    uint8_t digest[Sha256::digestSize];
+    hasher.final(digest);
+    std::memcpy(out, digest, ctx.params().n);
+}
+
+void
+prfAddr(uint8_t *out, const Context &ctx, const Address &adrs)
+{
+    thash(out, ctx, adrs, ctx.skSeed());
+}
+
+void
+prfMsg(uint8_t *out, const Context &ctx, ByteSpan sk_prf,
+       ByteSpan opt_rand, ByteSpan msg)
+{
+    HmacSha256 mac(sk_prf);
+    mac.update(opt_rand);
+    mac.update(msg);
+    uint8_t full[HmacSha256::digestSize];
+    mac.final(full);
+    std::memcpy(out, full, ctx.params().n);
+}
+
+void
+hashMessage(MutByteSpan digest, const Context &ctx, ByteSpan r,
+            ByteSpan pk_root, ByteSpan msg)
+{
+    // seed1 = SHA-256(R || pk_seed || pk_root || msg)
+    Sha256 inner(ctx.variant());
+    inner.update(r);
+    inner.update(ctx.pkSeed());
+    inner.update(pk_root);
+    inner.update(msg);
+    uint8_t seed1[Sha256::digestSize];
+    inner.final(seed1);
+
+    // digest = MGF1(R || pk_seed || seed1, m)
+    ByteVec mgf_seed;
+    mgf_seed.reserve(r.size() + ctx.pkSeed().size() + sizeof(seed1));
+    append(mgf_seed, r);
+    append(mgf_seed, ctx.pkSeed());
+    append(mgf_seed, ByteSpan(seed1, sizeof(seed1)));
+    mgf1Sha256(digest, mgf_seed);
+}
+
+} // namespace herosign::sphincs

@@ -1,0 +1,159 @@
+#include "sphincs/wots.hh"
+
+#include "sphincs/thash.hh"
+
+namespace herosign::sphincs
+{
+
+namespace
+{
+
+/**
+ * Split @p in into consecutive lgW-bit digits, MSB first.
+ */
+void
+baseW(uint32_t *out, size_t out_len, const uint8_t *in, unsigned lg_w)
+{
+    size_t in_idx = 0;
+    unsigned bits = 0;
+    uint8_t total = 0;
+    for (size_t i = 0; i < out_len; ++i) {
+        if (bits == 0) {
+            total = in[in_idx++];
+            bits = 8;
+        }
+        bits -= lg_w;
+        out[i] = (total >> bits) & ((1u << lg_w) - 1);
+    }
+}
+
+} // namespace
+
+void
+chainLengths(uint32_t *lengths, const Params &params, const uint8_t *msg)
+{
+    const unsigned lg_w = params.lgW();
+    const unsigned len1 = params.wotsLen1();
+    const unsigned len2 = params.wotsLen2();
+
+    baseW(lengths, len1, msg, lg_w);
+
+    // Checksum over the message digits.
+    uint32_t csum = 0;
+    for (unsigned i = 0; i < len1; ++i)
+        csum += params.wotsW - 1 - lengths[i];
+
+    // Left-shift so the checksum occupies whole base-w digits from the
+    // most significant bit of its byte string.
+    csum <<= (8 - (len2 * lg_w) % 8) % 8;
+    uint8_t csum_bytes[8];
+    const size_t csum_len = (len2 * lg_w + 7) / 8;
+    toByte(csum_bytes, csum, csum_len);
+    baseW(lengths + len1, len2, csum_bytes, lg_w);
+}
+
+void
+genChain(uint8_t *out, const uint8_t *in, uint32_t start, uint32_t steps,
+         const Context &ctx, Address &adrs)
+{
+    const unsigned n = ctx.params().n;
+    if (out != in)
+        std::memcpy(out, in, n);
+    for (uint32_t i = start; i < start + steps; ++i) {
+        adrs.setHash(i);
+        thashF(out, ctx, adrs, out);
+    }
+}
+
+void
+wotsChainSk(uint8_t *out, const Context &ctx, Address &adrs,
+            uint32_t chain)
+{
+    adrs.setChain(chain);
+    adrs.setHash(0);
+    prfAddr(out, ctx, adrs);
+}
+
+void
+wotsPkGen(uint8_t *pk_out, const Context &ctx, const Address &leaf_adrs)
+{
+    const Params &p = ctx.params();
+    const unsigned len = p.wotsLen();
+    const unsigned n = p.n;
+
+    Address prf_adrs = leaf_adrs;
+    prf_adrs.setType(AddrType::WotsPrf);
+    prf_adrs.setKeypair(leaf_adrs.keypair());
+    Address hash_adrs = leaf_adrs;
+    hash_adrs.setType(AddrType::WotsHash);
+    hash_adrs.setKeypair(leaf_adrs.keypair());
+
+    uint8_t chains[maxWotsLen * maxN];
+    for (unsigned i = 0; i < len; ++i) {
+        uint8_t sk[maxN];
+        wotsChainSk(sk, ctx, prf_adrs, i);
+        hash_adrs.setChain(i);
+        genChain(chains + i * n, sk, 0, p.wotsW - 1, ctx, hash_adrs);
+    }
+
+    Address pk_adrs = leaf_adrs;
+    pk_adrs.setType(AddrType::WotsPk);
+    pk_adrs.setKeypair(leaf_adrs.keypair());
+    thash(pk_out, ctx, pk_adrs, ByteSpan(chains, len * n));
+}
+
+void
+wotsSign(uint8_t *sig, const uint8_t *msg, const Context &ctx,
+         const Address &leaf_adrs)
+{
+    const Params &p = ctx.params();
+    const unsigned len = p.wotsLen();
+    const unsigned n = p.n;
+
+    uint32_t lengths[maxWotsLen];
+    chainLengths(lengths, p, msg);
+
+    Address prf_adrs = leaf_adrs;
+    prf_adrs.setType(AddrType::WotsPrf);
+    prf_adrs.setKeypair(leaf_adrs.keypair());
+    Address hash_adrs = leaf_adrs;
+    hash_adrs.setType(AddrType::WotsHash);
+    hash_adrs.setKeypair(leaf_adrs.keypair());
+
+    for (unsigned i = 0; i < len; ++i) {
+        uint8_t sk[maxN];
+        wotsChainSk(sk, ctx, prf_adrs, i);
+        hash_adrs.setChain(i);
+        genChain(sig + i * n, sk, 0, lengths[i], ctx, hash_adrs);
+    }
+}
+
+void
+wotsPkFromSig(uint8_t *pk_out, const uint8_t *sig, const uint8_t *msg,
+              const Context &ctx, const Address &leaf_adrs)
+{
+    const Params &p = ctx.params();
+    const unsigned len = p.wotsLen();
+    const unsigned n = p.n;
+
+    uint32_t lengths[maxWotsLen];
+    chainLengths(lengths, p, msg);
+
+    Address hash_adrs = leaf_adrs;
+    hash_adrs.setType(AddrType::WotsHash);
+    hash_adrs.setKeypair(leaf_adrs.keypair());
+
+    uint8_t chains[maxWotsLen * maxN];
+    for (unsigned i = 0; i < len; ++i) {
+        hash_adrs.setChain(i);
+        genChain(chains + i * n, sig + i * n, lengths[i],
+                 p.wotsW - 1 - lengths[i], ctx, hash_adrs);
+    }
+
+    Address pk_adrs = leaf_adrs;
+    pk_adrs.setType(AddrType::WotsPk);
+    pk_adrs.setKeypair(leaf_adrs.keypair());
+    thash(pk_out, ctx, pk_adrs, ByteSpan(chains, len * n));
+}
+
+} // namespace herosign::sphincs

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * WOTS+ one-time signatures (spec §3). Each of the len chains is an
+ * independent hash chain — the property HERO-Sign's WOTS+_Sign kernel
+ * exploits with chain-level parallelism (paper §II-A1).
+ */
+
+#ifndef HEROSIGN_SPHINCS_WOTS_HH
+#define HEROSIGN_SPHINCS_WOTS_HH
+
+#include "common/bytes.hh"
+#include "sphincs/address.hh"
+#include "sphincs/context.hh"
+
+namespace herosign::sphincs
+{
+
+/**
+ * Compute the base-w chain lengths for a message: len1 message digits
+ * followed by len2 checksum digits.
+ * @param lengths output array of params.wotsLen() entries, each in
+ *        [0, w-1]
+ * @param msg the n-byte message (a Merkle root)
+ */
+void chainLengths(uint32_t *lengths, const Params &params,
+                  const uint8_t *msg);
+
+/**
+ * Advance one WOTS+ hash chain.
+ * @param out n bytes; may alias @p in
+ * @param in n-byte chain value at position @p start
+ * @param start current position in the chain
+ * @param steps how many F applications to perform
+ * @param adrs WOTS_HASH address with layer/tree/keypair/chain set;
+ *        the hash position field is managed by this function
+ */
+void genChain(uint8_t *out, const uint8_t *in, uint32_t start,
+              uint32_t steps, const Context &ctx, Address &adrs);
+
+/**
+ * Derive the secret chain start value for chain @p chain.
+ * @param adrs a WOTS_PRF address with layer/tree/keypair set
+ */
+void wotsChainSk(uint8_t *out, const Context &ctx, Address &adrs,
+                 uint32_t chain);
+
+/**
+ * Compute the WOTS+ compressed public key (the hypertree leaf) for
+ * the keypair selected by @p leaf_adrs.
+ * @param pk_out n bytes
+ * @param leaf_adrs WOTS_HASH-style address with layer/tree/keypair set
+ */
+void wotsPkGen(uint8_t *pk_out, const Context &ctx,
+               const Address &leaf_adrs);
+
+/**
+ * Sign an n-byte message (a root) with the selected WOTS+ keypair.
+ * @param sig out, wotsSigBytes() = len * n
+ */
+void wotsSign(uint8_t *sig, const uint8_t *msg, const Context &ctx,
+              const Address &leaf_adrs);
+
+/**
+ * Recompute the compressed public key from a signature (verification
+ * direction).
+ */
+void wotsPkFromSig(uint8_t *pk_out, const uint8_t *sig,
+                   const uint8_t *msg, const Context &ctx,
+                   const Address &leaf_adrs);
+
+} // namespace herosign::sphincs
+
+#endif // HEROSIGN_SPHINCS_WOTS_HH

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Batch scheduling tests: graph vs stream launch latency (Fig. 12
+ * mechanism), idle-time behaviour (Table II), throughput scaling
+ * with batch size (Fig. 13 shape).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/engine.hh"
+
+using namespace herosign;
+using namespace herosign::core;
+using gpu::DeviceProps;
+using sphincs::Params;
+
+namespace
+{
+
+const DeviceProps &
+rtx4090()
+{
+    static DeviceProps d = DeviceProps::rtx4090();
+    return d;
+}
+
+} // namespace
+
+TEST(Batch, GraphCutsLaunchLatencyByOrdersOfMagnitude)
+{
+    const Params &p = Params::sphincs128f();
+    EngineConfig with_graph = EngineConfig::hero();
+    EngineConfig no_graph = EngineConfig::hero();
+    no_graph.useGraph = false;
+
+    SignEngine eg(p, rtx4090(), with_graph);
+    SignEngine en(p, rtx4090(), no_graph);
+
+    auto bg = eg.signBatchTiming(1024);
+    auto bn = en.signBatchTiming(1024);
+
+    // Fig. 12: two orders of magnitude on launch latency.
+    EXPECT_LT(bg.launchLatencyUs * 5, bn.launchLatencyUs);
+    // And the graph build never hurts throughput.
+    EXPECT_LE(bg.makespanUs, bn.makespanUs * 1.05);
+}
+
+TEST(Batch, BaselineHasLargestLaunchLatency)
+{
+    const Params &p = Params::sphincs128f();
+    SignEngine base(p, rtx4090(), EngineConfig::baseline());
+    SignEngine hero(p, rtx4090(), EngineConfig::hero());
+    auto bb = base.signBatchTiming(1024);
+    auto bh = hero.signBatchTiming(1024);
+    EXPECT_GT(bb.launchLatencyUs, bh.launchLatencyUs);
+}
+
+TEST(Batch, HeroBeatsBaselineThroughput)
+{
+    for (const Params *pp :
+         {&Params::sphincs128f(), &Params::sphincs192f(),
+          &Params::sphincs256f()}) {
+        SignEngine base(*pp, rtx4090(), EngineConfig::baseline());
+        SignEngine hero(*pp, rtx4090(), EngineConfig::hero());
+        auto bb = base.signBatchTiming(1024);
+        auto bh = hero.signBatchTiming(1024);
+        // Fig. 12: 1.28x / 1.28x / 1.42x end-to-end.
+        EXPECT_GT(bh.kops / bb.kops, 1.1) << (*pp).name;
+        EXPECT_LT(bh.kops / bb.kops, 4.0) << (*pp).name;
+    }
+}
+
+TEST(Batch, ThroughputOrderingAcrossSets)
+{
+    // 128f > 192f > 256f in KOPS for any engine.
+    SignEngine e128(Params::sphincs128f(), rtx4090(),
+                    EngineConfig::hero());
+    SignEngine e192(Params::sphincs192f(), rtx4090(),
+                    EngineConfig::hero());
+    SignEngine e256(Params::sphincs256f(), rtx4090(),
+                    EngineConfig::hero());
+    auto b128 = e128.signBatchTiming(512);
+    auto b192 = e192.signBatchTiming(512);
+    auto b256 = e256.signBatchTiming(512);
+    EXPECT_GT(b128.kops, b192.kops);
+    EXPECT_GT(b192.kops, b256.kops);
+}
+
+TEST(Batch, ThroughputGrowsWithBatchSizeThenSaturates)
+{
+    // Fig. 13 shape: small batches underutilize the device.
+    SignEngine hero(Params::sphincs128f(), rtx4090(),
+                    EngineConfig::hero());
+    auto small = hero.signBatchTiming(8, 8);
+    auto medium = hero.signBatchTiming(128, 64);
+    auto large = hero.signBatchTiming(1024, 64);
+    EXPECT_GT(medium.kops, small.kops);
+    EXPECT_GE(large.kops, medium.kops * 0.9);
+}
+
+TEST(Batch, IdleTimePresentInBaseline)
+{
+    SignEngine base(Params::sphincs128f(), rtx4090(),
+                    EngineConfig::baseline());
+    auto b = base.signBatchTiming(1024);
+    EXPECT_GT(b.idleUs, 0.0);
+    // Idle must be a minority of the makespan.
+    EXPECT_LT(b.idleUs, b.makespanUs);
+}
+
+TEST(Batch, GraphReducesIdleVersusStreams)
+{
+    const Params &p = Params::sphincs192f();
+    EngineConfig no_graph = EngineConfig::hero();
+    no_graph.useGraph = false;
+    SignEngine eg(p, rtx4090(), EngineConfig::hero());
+    SignEngine en(p, rtx4090(), no_graph);
+    auto bg = eg.signBatchTiming(512);
+    auto bn = en.signBatchTiming(512);
+    // The graph removes host round-trips; allow a small tolerance for
+    // the different stream assignment of the two plans.
+    EXPECT_LE(bg.idleUs, bn.idleUs + 10.0);
+}
+
+TEST(Batch, PerKernelBusyCoversAllThreeKernels)
+{
+    SignEngine hero(Params::sphincs128f(), rtx4090(),
+                    EngineConfig::hero());
+    auto b = hero.signBatchTiming(256);
+    EXPECT_EQ(b.perKernelBusyUs.count("FORS_Sign"), 1u);
+    EXPECT_EQ(b.perKernelBusyUs.count("TREE_Sign"), 1u);
+    EXPECT_EQ(b.perKernelBusyUs.count("WOTS+_Sign"), 1u);
+    // MSS (TREE) dominates (Table II shape).
+    EXPECT_GT(b.perKernelBusyUs["TREE_Sign"],
+              b.perKernelBusyUs["FORS_Sign"]);
+    EXPECT_GT(b.perKernelBusyUs["TREE_Sign"],
+              b.perKernelBusyUs["WOTS+_Sign"]);
+}
+
+TEST(Batch, KopsConsistentWithMakespan)
+{
+    SignEngine hero(Params::sphincs128f(), rtx4090(),
+                    EngineConfig::hero());
+    auto b = hero.signBatchTiming(512);
+    EXPECT_NEAR(b.kops, 512 * 1000.0 / b.makespanUs, 1e-6);
+}
+
+TEST(Batch, ChunkOverrideChangesLaunchCount)
+{
+    SignEngine hero(Params::sphincs128f(), rtx4090(),
+                    EngineConfig::hero());
+    auto coarse = hero.signBatchTiming(512, 512);
+    auto fine = hero.signBatchTiming(512, 32);
+    EXPECT_GT(fine.schedule.entries.size(),
+              coarse.schedule.entries.size());
+}

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Auto Tree Tuning (Algorithm 1) tests, anchored on the paper's
+ * Table IV search results for the RTX 4090.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/tuning.hh"
+
+using namespace herosign;
+using namespace herosign::core;
+using gpu::DeviceProps;
+using sphincs::Params;
+
+TEST(TreeTuning, Table4Result128f)
+{
+    // Paper Table IV: 128f -> utilization 0.6875 / 0.6875, F = 3.
+    auto best = autoTreeTuning(Params::sphincs128f(),
+                               DeviceProps::rtx4090());
+    EXPECT_EQ(best.threadsPerSet, 704u);   // 11 trees x 64 threads
+    EXPECT_EQ(best.treesPerSet, 11u);
+    EXPECT_EQ(best.fusedSets, 3u);
+    EXPECT_NEAR(best.threadUtil, 0.6875, 1e-9);
+    EXPECT_NEAR(best.smemUtil, 0.6875, 1e-9);
+    EXPECT_FALSE(best.relax);
+    // sync = log2(t) * ceil(k/Ntree) / F = 6 * 3 / 3.
+    EXPECT_NEAR(best.syncPoints, 6.0, 1e-9);
+}
+
+TEST(TreeTuning, Table4Result192f)
+{
+    // Paper Table IV: 192f -> utilization 0.75 / 0.75, F = 2.
+    auto best = autoTreeTuning(Params::sphincs192f(),
+                               DeviceProps::rtx4090());
+    EXPECT_EQ(best.threadsPerSet, 768u);   // 3 trees x 256 threads
+    EXPECT_EQ(best.treesPerSet, 3u);
+    EXPECT_EQ(best.fusedSets, 2u);
+    EXPECT_NEAR(best.threadUtil, 0.75, 1e-9);
+    EXPECT_NEAR(best.smemUtil, 0.75, 1e-9);
+    EXPECT_FALSE(best.relax);
+}
+
+TEST(TreeTuning, Relax256fSelected)
+{
+    // §III-B4: a 256f tree's leaf level is 16 KB; the tuner must
+    // switch to the Relax-FORS model.
+    auto best = autoTreeTuning(Params::sphincs256f(),
+                               DeviceProps::rtx4090());
+    EXPECT_TRUE(best.relax);
+    EXPECT_GE(best.treesPerSet, 1u);
+    // Relax halves the per-tree footprint to 8 KB.
+    EXPECT_LE(best.smemUsed, 48u * 1024);
+}
+
+TEST(TreeTuning, CandidatesSortedByPaperRanking)
+{
+    TuningInputs in;
+    in.forsTrees = 33;
+    in.forsHeight = 6;
+    in.n = 16;
+    in.smemPerBlock = 48 * 1024;
+    auto cands = treeTuningSearch(in);
+    ASSERT_GT(cands.size(), 1u);
+    for (size_t i = 1; i < cands.size(); ++i) {
+        const auto &a = cands[i - 1];
+        const auto &b = cands[i];
+        EXPECT_TRUE(a.syncPoints < b.syncPoints ||
+                    (a.syncPoints == b.syncPoints &&
+                     a.threadUtil >= b.threadUtil))
+            << "rank " << i;
+    }
+}
+
+TEST(TreeTuning, RespectsConstraints)
+{
+    TuningInputs in;
+    in.forsTrees = 33;
+    in.forsHeight = 6;
+    in.n = 16;
+    in.smemPerBlock = 48 * 1024;
+    for (const auto &c : treeTuningSearch(in)) {
+        EXPECT_LE(c.threadsPerSet, 1024u);
+        EXPECT_LT(c.smemUsed, in.smemPerBlock); // saturation excluded
+        EXPECT_GE(c.threadUtil, in.alpha);
+        EXPECT_EQ(c.threadsPerSet, c.treesPerSet * 64u);
+        EXPECT_LE(c.treesPerSet * c.fusedSets, 33u);
+    }
+}
+
+TEST(TreeTuning, AlphaFilters)
+{
+    TuningInputs in;
+    in.forsTrees = 33;
+    in.forsHeight = 6;
+    in.n = 16;
+    in.smemPerBlock = 48 * 1024;
+    in.alpha = 0.9;
+    for (const auto &c : treeTuningSearch(in))
+        EXPECT_GE(c.threadUtil, 0.9);
+}
+
+TEST(TreeTuning, SmallerSmemShrinksFusion)
+{
+    // Pascal-like budget: fewer fused sets fit.
+    auto c48 = autoTreeTuning(Params::sphincs128f(),
+                              DeviceProps::rtx4090());
+    TuningInputs small;
+    small.forsTrees = 33;
+    small.forsHeight = 6;
+    small.n = 16;
+    small.smemPerBlock = 24 * 1024;
+    auto cands = treeTuningSearch(small);
+    ASSERT_FALSE(cands.empty());
+    EXPECT_LE(cands.front().smemUsed, 24u * 1024);
+    EXPECT_LE(cands.front().smemUsed, c48.smemUsed);
+}
+
+TEST(TreeTuning, SyncFormulaMatchesPaper)
+{
+    TuningInputs in;
+    in.forsTrees = 33;
+    in.forsHeight = 8;
+    in.n = 24;
+    in.smemPerBlock = 48 * 1024;
+    for (const auto &c : treeTuningSearch(in)) {
+        const unsigned sets =
+            (in.forsTrees + c.treesPerSet - 1) / c.treesPerSet;
+        EXPECT_NEAR(c.syncPoints,
+                    8.0 * sets / c.fusedSets, 1e-9);
+    }
+}
+
+TEST(TreeTuning, RelaxFallbackWhenTreeTooLarge)
+{
+    // A hypothetical set with t*n = 64 KB leaves no non-relax
+    // configuration under 48 KB.
+    TuningInputs in;
+    in.forsTrees = 10;
+    in.forsHeight = 11;  // t = 2048
+    in.n = 32;
+    in.smemPerBlock = 48 * 1024;
+    auto plain = treeTuningSearch(in);
+    EXPECT_TRUE(plain.empty());
+    in.relax = true;
+    auto relaxed = treeTuningSearch(in);
+    ASSERT_FALSE(relaxed.empty());
+    EXPECT_TRUE(relaxed.front().relax);
+}
+
+TEST(TreeTuning, AllPlatformsHaveAConfig)
+{
+    for (const auto &dev : DeviceProps::allPlatforms()) {
+        for (const auto &p : Params::all()) {
+            EXPECT_NO_THROW({
+                auto best = autoTreeTuning(p, dev);
+                EXPECT_GE(best.fusedSets, 1u);
+            }) << dev.name << " / " << p.name;
+        }
+    }
+}

@@ -1,0 +1,252 @@
+/**
+ * @file
+ * Bank-conflict model tests: Eq. 2/3 region math, conflict counting
+ * on canonical patterns, and the Table VI property — the padded
+ * even-odd reduction layout is conflict-free for 16/24/32-byte
+ * accesses while the naive layout conflicts heavily.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "gpusim/banks.hh"
+
+using namespace herosign::gpu;
+
+TEST(BankModel, RegionRowsMatchesEq2AndEq3)
+{
+    // Eq. 2: 128 = Bn * 4 * Th -> R = 1 for 16B and 32B.
+    EXPECT_EQ(BankModel::regionRows(16), 1u);
+    EXPECT_EQ(BankModel::regionRows(32), 1u);
+    // Eq. 3: 128 * R = Bn * 4 * Th -> R = 3 for 24B.
+    EXPECT_EQ(BankModel::regionRows(24), 3u);
+    EXPECT_EQ(BankModel::regionRows(4), 1u);
+}
+
+TEST(BankModel, LanesPerPhase)
+{
+    EXPECT_EQ(BankModel::lanesPerPhase(16), 8u);   // Th = 8
+    EXPECT_EQ(BankModel::lanesPerPhase(32), 4u);   // Th = 4
+    EXPECT_EQ(BankModel::lanesPerPhase(24), 16u);  // Th = 16 (Fig. 9)
+    EXPECT_EQ(BankModel::lanesPerPhase(4), 32u);
+}
+
+TEST(BankModel, RejectsNonWordSizes)
+{
+    EXPECT_THROW(BankModel::regionRows(0), std::invalid_argument);
+    EXPECT_THROW(BankModel::regionRows(6), std::invalid_argument);
+}
+
+TEST(BankModel, Stride1WordAccessIsConflictFree)
+{
+    BankModel model;
+    WarpAccess acc;
+    acc.bytesPerLane = 4;
+    for (uint32_t i = 0; i < 32; ++i)
+        acc.laneAddrs.push_back(i * 4);
+    EXPECT_EQ(model.conflicts(acc), 0u);
+}
+
+TEST(BankModel, Stride2WordAccessIsTwoWay)
+{
+    // Lane i -> word 2i: banks repeat after 16 lanes -> one extra
+    // wavefront for the 32-lane phase.
+    BankModel model;
+    WarpAccess acc;
+    acc.bytesPerLane = 4;
+    for (uint32_t i = 0; i < 32; ++i)
+        acc.laneAddrs.push_back(i * 8);
+    EXPECT_EQ(model.conflicts(acc), 1u);
+}
+
+TEST(BankModel, SameAddressBroadcastsWithoutConflict)
+{
+    BankModel model;
+    WarpAccess acc;
+    acc.bytesPerLane = 4;
+    for (uint32_t i = 0; i < 32; ++i)
+        acc.laneAddrs.push_back(128); // all lanes, same word
+    EXPECT_EQ(model.conflicts(acc), 0u);
+}
+
+TEST(BankModel, WorstCaseSingleBank)
+{
+    // All lanes hit distinct words of one bank: 31 extra wavefronts.
+    BankModel model;
+    WarpAccess acc;
+    acc.bytesPerLane = 4;
+    for (uint32_t i = 0; i < 32; ++i)
+        acc.laneAddrs.push_back(i * 128);
+    EXPECT_EQ(model.conflicts(acc), 31u);
+}
+
+TEST(BankModel, Vector16ByteStride1ConflictFree)
+{
+    BankModel model;
+    WarpAccess acc;
+    acc.bytesPerLane = 16;
+    for (uint32_t i = 0; i < 32; ++i)
+        acc.laneAddrs.push_back(i * 16);
+    EXPECT_EQ(model.conflicts(acc), 0u);
+}
+
+TEST(BankModel, Vector16ByteStride2Conflicts)
+{
+    // The reduction's child loads in the naive layout.
+    BankModel model;
+    WarpAccess acc;
+    acc.bytesPerLane = 16;
+    for (uint32_t i = 0; i < 32; ++i)
+        acc.laneAddrs.push_back(i * 32);
+    EXPECT_GT(model.conflicts(acc), 0u);
+}
+
+TEST(BankModel, Vector24ByteStride1ConflictFreeUnderEq3)
+{
+    // The paper's coalescing hypothesis: 16 lanes x 24 B = 3 rows of
+    // 128 B merge into one transaction; stride-1 then needs exactly
+    // R = 3 wavefronts -> zero conflicts.
+    BankModel model;
+    WarpAccess acc;
+    acc.bytesPerLane = 24;
+    for (uint32_t i = 0; i < 32; ++i)
+        acc.laneAddrs.push_back(i * 24);
+    EXPECT_EQ(model.conflicts(acc), 0u);
+}
+
+TEST(BankModel, EmptyAccessIsFree)
+{
+    BankModel model;
+    WarpAccess acc;
+    acc.bytesPerLane = 16;
+    EXPECT_EQ(model.conflicts(acc), 0u);
+}
+
+namespace
+{
+
+ConflictCounts
+runReduction(unsigned leaves, unsigned node_bytes, bool padded)
+{
+    BankModel model;
+    if (padded) {
+        PaddedReductionLayout layout(leaves, node_bytes, 0);
+        return reductionConflicts(layout, 1024, model);
+    }
+    NaiveReductionLayout layout(leaves, node_bytes, 0);
+    return reductionConflicts(layout, 1024, model);
+}
+
+} // namespace
+
+class ReductionConflicts
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>>
+{
+};
+
+TEST_P(ReductionConflicts, PaddedLayoutIsConflictFree)
+{
+    const auto [leaves, node_bytes] = GetParam();
+    ConflictCounts counts = runReduction(leaves, node_bytes, true);
+    EXPECT_EQ(counts.loadConflicts, 0u)
+        << "t=" << leaves << " n=" << node_bytes;
+    EXPECT_EQ(counts.storeConflicts, 0u)
+        << "t=" << leaves << " n=" << node_bytes;
+}
+
+TEST_P(ReductionConflicts, NaiveLayoutConflictsHeavily)
+{
+    const auto [leaves, node_bytes] = GetParam();
+    ConflictCounts counts = runReduction(leaves, node_bytes, false);
+    if (leaves >= 32) {
+        // Table VI baseline: FORS-sized trees conflict in both loads
+        // and stores.
+        EXPECT_GT(counts.loadConflicts, 0u);
+        EXPECT_GT(counts.storeConflicts, 0u);
+    } else {
+        // Tiny hypertree subtrees fit one transaction phase; the
+        // naive layout is never *better* than the padded one.
+        ConflictCounts padded = runReduction(leaves, node_bytes, true);
+        EXPECT_GE(counts.loadConflicts + counts.storeConflicts,
+                  padded.loadConflicts + padded.storeConflicts);
+    }
+}
+
+// The three SPHINCS+ FORS geometries (t x n): 64x16, 256x24, 512x32,
+// plus the hypertree subtree geometries (8x16, 8x24, 16x32).
+INSTANTIATE_TEST_SUITE_P(SphincsGeometries, ReductionConflicts,
+    ::testing::Values(std::make_tuple(64u, 16u),
+                      std::make_tuple(256u, 24u),
+                      std::make_tuple(512u, 32u),
+                      std::make_tuple(8u, 16u),
+                      std::make_tuple(8u, 24u),
+                      std::make_tuple(16u, 32u),
+                      std::make_tuple(128u, 16u),
+                      std::make_tuple(32u, 32u)));
+
+TEST(ReductionLayouts, PaddedFootprintNearTN)
+{
+    // The padded layout must stay within the paper's t*n shared
+    // memory accounting plus at most one row of padding.
+    for (auto [t, n] : {std::pair{64u, 16u}, {256u, 24u}, {512u, 32u}}) {
+        PaddedReductionLayout layout(t, n, 0);
+        EXPECT_GE(layout.footprint(), t * n);
+        EXPECT_LE(layout.footprint(), t * n + 128);
+    }
+}
+
+TEST(ReductionLayouts, AddressesStayInsideFootprint)
+{
+    PaddedReductionLayout layout(64, 16, 0);
+    unsigned levels = 6;
+    for (unsigned level = 0; level <= levels; ++level) {
+        const uint32_t count = 64u >> level;
+        for (uint32_t j = 0; j < count; ++j) {
+            EXPECT_LE(layout.nodeAddr(level, j) + 16,
+                      layout.footprint())
+                << "level " << level << " node " << j;
+        }
+    }
+}
+
+TEST(ReductionLayouts, PaddedAddressesDoNotAliasWithinLevel)
+{
+    PaddedReductionLayout layout(64, 16, 0);
+    for (unsigned level = 0; level < 6; ++level) {
+        const uint32_t count = 64u >> level;
+        std::set<uint32_t> seen;
+        for (uint32_t j = 0; j < count; ++j)
+            EXPECT_TRUE(seen.insert(layout.nodeAddr(level, j)).second)
+                << "level " << level << " node " << j;
+    }
+}
+
+TEST(ReductionLayouts, OddSkewIs64Mod128)
+{
+    // The conflict-free property hinges on the odd array sitting 64
+    // bytes (mod 128) past the even array.
+    for (auto [t, n] : {std::pair{64u, 16u}, {256u, 24u}, {512u, 32u}}) {
+        PaddedReductionLayout layout(t, n, 0);
+        uint32_t even0 = layout.nodeAddr(0, 0);
+        uint32_t odd0 = layout.nodeAddr(0, 1);
+        EXPECT_EQ((odd0 - even0) % 128, 64u) << "t=" << t << " n=" << n;
+    }
+}
+
+TEST(ReductionLayouts, BaseOffsetRespected)
+{
+    NaiveReductionLayout naive(64, 16, 4096);
+    EXPECT_EQ(naive.nodeAddr(0, 0), 4096u);
+    PaddedReductionLayout padded(64, 16, 4096);
+    EXPECT_EQ(padded.nodeAddr(0, 0), 4096u);
+}
+
+TEST(ReductionLayouts, RejectsNonPowerOfTwo)
+{
+    EXPECT_THROW(PaddedReductionLayout(48, 16, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(PaddedReductionLayout(1, 16, 0),
+                 std::invalid_argument);
+}

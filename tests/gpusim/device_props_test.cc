@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Device preset sanity: Table VII values, derived quantities.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/device_props.hh"
+
+using namespace herosign::gpu;
+
+TEST(DeviceProps, TableSevenClocks)
+{
+    EXPECT_DOUBLE_EQ(DeviceProps::gtx1070().baseClockMhz, 1506);
+    EXPECT_DOUBLE_EQ(DeviceProps::v100().baseClockMhz, 1230);
+    EXPECT_DOUBLE_EQ(DeviceProps::rtx2080ti().baseClockMhz, 1350);
+    EXPECT_DOUBLE_EQ(DeviceProps::a100().baseClockMhz, 1095);
+    EXPECT_DOUBLE_EQ(DeviceProps::rtx4090().baseClockMhz, 2235);
+    EXPECT_DOUBLE_EQ(DeviceProps::h100().baseClockMhz, 1035);
+}
+
+TEST(DeviceProps, SmVersions)
+{
+    EXPECT_EQ(DeviceProps::gtx1070().smVersion, 61u);
+    EXPECT_EQ(DeviceProps::v100().smVersion, 70u);
+    EXPECT_EQ(DeviceProps::rtx2080ti().smVersion, 75u);
+    EXPECT_EQ(DeviceProps::a100().smVersion, 80u);
+    EXPECT_EQ(DeviceProps::rtx4090().smVersion, 89u);
+    EXPECT_EQ(DeviceProps::h100().smVersion, 90u);
+}
+
+TEST(DeviceProps, PaperCoreCounts)
+{
+    // §IV-F quotes 1920 (Pascal), 16384 (4090), 16896 (H100).
+    EXPECT_EQ(DeviceProps::gtx1070().cudaCores, 1920u);
+    EXPECT_EQ(DeviceProps::rtx4090().cudaCores, 16384u);
+    EXPECT_EQ(DeviceProps::h100().cudaCores, 16896u);
+}
+
+TEST(DeviceProps, CoresDivideEvenlyIntoSms)
+{
+    for (const auto &d : DeviceProps::allPlatforms()) {
+        EXPECT_EQ(d.cudaCores % d.numSms, 0u) << d.name;
+        EXPECT_GT(d.coresPerSm(), 0u) << d.name;
+    }
+}
+
+TEST(DeviceProps, HopperHasLargestSharedMemory)
+{
+    // §IV-F: Hopper offers up to 228 KB per SM.
+    EXPECT_EQ(DeviceProps::h100().smemPerSm, 228u * 1024);
+    for (const auto &d : DeviceProps::allPlatforms())
+        EXPECT_LE(d.smemPerSm, DeviceProps::h100().smemPerSm) << d.name;
+}
+
+TEST(DeviceProps, InstructionThroughputOrdering)
+{
+    // §IV-F: despite fewer cores, the RTX 4090 beats the H100 on
+    // core-count x frequency.
+    auto throughput = [](const DeviceProps &d) {
+        return d.cudaCores * d.baseClockMhz;
+    };
+    EXPECT_GT(throughput(DeviceProps::rtx4090()),
+              throughput(DeviceProps::h100()));
+    // Pascal is the weakest platform.
+    for (const auto &d : DeviceProps::allPlatforms()) {
+        if (d.arch != Arch::Pascal) {
+            EXPECT_GT(throughput(d), throughput(DeviceProps::gtx1070()))
+                << d.name;
+        }
+    }
+}
+
+TEST(DeviceProps, ByArchRoundtrip)
+{
+    for (const auto &d : DeviceProps::allPlatforms())
+        EXPECT_EQ(DeviceProps::byArch(d.arch).name, d.name);
+}
+
+TEST(DeviceProps, ArchNames)
+{
+    EXPECT_EQ(archName(Arch::Pascal), "Pascal");
+    EXPECT_EQ(archName(Arch::Hopper), "Hopper");
+    EXPECT_EQ(DeviceProps::allPlatforms().size(), 6u);
+}
+
+TEST(DeviceProps, StaticSmemLimitIs48K)
+{
+    // Paper §III-B1 reasons about the classic 48 KB static limit.
+    for (const auto &d : DeviceProps::allPlatforms())
+        EXPECT_EQ(d.staticSmemPerBlock, 48u * 1024) << d.name;
+}

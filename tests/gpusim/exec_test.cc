@@ -1,0 +1,281 @@
+/**
+ * @file
+ * Functional executor tests: phase/barrier semantics, shared-memory
+ * correctness, cycle accounting, and warp-instruction grouping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <numeric>
+
+#include "gpusim/exec.hh"
+
+using namespace herosign::gpu;
+
+namespace
+{
+
+const DeviceProps &
+dev()
+{
+    static DeviceProps d = DeviceProps::rtx4090();
+    return d;
+}
+
+const CostParams &
+cp()
+{
+    static CostParams p;
+    return p;
+}
+
+/**
+ * A toy tree-sum kernel: leaves are (blockIdx + tid), reduced by
+ * addition level by level — same phase structure as the Merkle
+ * reduction, easy to verify exactly.
+ */
+class TreeSumKernel : public KernelBody
+{
+  public:
+    explicit TreeSumKernel(unsigned leaves, std::vector<uint32_t> *out)
+        : leaves_(leaves), out_(out)
+    {
+    }
+
+    std::string name() const override { return "TreeSum"; }
+
+    unsigned
+    numPhases(unsigned) const override
+    {
+        unsigned levels = 0;
+        for (unsigned v = leaves_; v > 1; v >>= 1)
+            ++levels;
+        return 1 + levels; // populate + reduce
+    }
+
+    void
+    run(unsigned phase, BlockContext &blk, unsigned tid) override
+    {
+        if (phase == 0) {
+            if (tid < leaves_) {
+                uint32_t v = blk.blockIdx() + tid;
+                blk.storeShared(tid, tid * 4,
+                                reinterpret_cast<uint8_t *>(&v), 4);
+                blk.chargeCycles(tid, 1);
+            }
+            return;
+        }
+        const unsigned level = phase - 1;
+        const unsigned parents = leaves_ >> (level + 1);
+        if (tid >= parents)
+            return;
+        // Level l values live at stride 2^l (in-place reduction).
+        const uint32_t stride = 1u << level;
+        uint32_t a, b;
+        blk.loadShared(tid, (2 * tid) * stride * 4,
+                       reinterpret_cast<uint8_t *>(&a), 4);
+        blk.loadShared(tid, (2 * tid + 1) * stride * 4,
+                       reinterpret_cast<uint8_t *>(&b), 4);
+        uint32_t sum = a + b;
+        blk.storeShared(tid, (2 * tid) * stride * 4,
+                        reinterpret_cast<uint8_t *>(&sum), 4);
+        blk.chargeCycles(tid, 1);
+        if (parents == 1 && tid == 0 && out_)
+            (*out_)[blk.blockIdx()] = sum;
+    }
+
+  private:
+    unsigned leaves_;
+    std::vector<uint32_t> *out_;
+};
+
+/** Kernel charging known per-thread costs for accounting tests. */
+class CostKernel : public KernelBody
+{
+  public:
+    std::string name() const override { return "Cost"; }
+    unsigned numPhases(unsigned) const override { return 2; }
+
+    void
+    run(unsigned phase, BlockContext &blk, unsigned tid) override
+    {
+        if (phase == 0) {
+            blk.chargeHash(tid, 2);
+        } else if (tid == 0) {
+            blk.chargeHash(tid, 5); // imbalanced second phase
+            blk.chargeGlobal(tid, 100);
+            blk.chargeConstant(tid, 64);
+        }
+    }
+};
+
+} // namespace
+
+TEST(Exec, TreeSumComputesCorrectSums)
+{
+    const unsigned leaves = 64;
+    std::vector<uint32_t> results(4, 0);
+    LaunchSpec spec;
+    spec.body = std::make_shared<TreeSumKernel>(leaves, &results);
+    spec.gridDim = 4;
+    spec.blockDim = 64;
+    spec.sharedBytes = leaves * 4;
+
+    executeLaunch(dev(), cp(), spec);
+
+    for (unsigned b = 0; b < 4; ++b) {
+        uint32_t expected = 0;
+        for (unsigned t = 0; t < leaves; ++t)
+            expected += b + t;
+        EXPECT_EQ(results[b], expected) << "block " << b;
+    }
+}
+
+TEST(Exec, PhaseCountAndBarriers)
+{
+    LaunchSpec spec;
+    spec.body = std::make_shared<TreeSumKernel>(16, nullptr);
+    spec.gridDim = 1;
+    spec.blockDim = 16;
+    spec.sharedBytes = 64;
+
+    auto result = executeLaunch(dev(), cp(), spec);
+    EXPECT_EQ(result.profile.phases.size(), 5u); // populate + 4 levels
+    EXPECT_EQ(result.profile.counters.barriers, 5u);
+}
+
+TEST(Exec, ActiveLanesShrinkThroughReduction)
+{
+    LaunchSpec spec;
+    spec.body = std::make_shared<TreeSumKernel>(64, nullptr);
+    spec.gridDim = 1;
+    spec.blockDim = 64;
+    spec.sharedBytes = 256;
+
+    auto result = executeLaunch(dev(), cp(), spec);
+    const auto &ph = result.profile.phases;
+    ASSERT_EQ(ph.size(), 7u);
+    EXPECT_EQ(ph[0].activeLanes, 64u);
+    EXPECT_EQ(ph[1].activeLanes, 32u);
+    EXPECT_EQ(ph[6].activeLanes, 1u);
+}
+
+TEST(Exec, CycleAccountingPerPhase)
+{
+    LaunchSpec spec;
+    spec.body = std::make_shared<CostKernel>();
+    spec.gridDim = 1;
+    spec.blockDim = 32;
+    spec.sharedBytes = 0;
+    spec.cyclesPerHash = 100.0;
+
+    auto result = executeLaunch(dev(), cp(), spec);
+    ASSERT_EQ(result.profile.phases.size(), 2u);
+    // Phase 0: every thread does 2 hashes = 200 cycles.
+    EXPECT_DOUBLE_EQ(result.profile.phases[0].maxThreadCycles, 200.0);
+    EXPECT_EQ(result.profile.phases[0].activeLanes, 32u);
+    // Phase 1: only thread 0, 5 hashes + memory charges.
+    EXPECT_EQ(result.profile.phases[1].activeLanes, 1u);
+    EXPECT_GT(result.profile.phases[1].maxThreadCycles, 500.0);
+    // Counters aggregate across phases.
+    EXPECT_EQ(result.profile.counters.hashes, 32u * 2 + 5);
+    EXPECT_EQ(result.profile.counters.globalBytes, 100u);
+    EXPECT_EQ(result.profile.counters.constantBytes, 64u);
+}
+
+TEST(Exec, SharedMemoryBoundsChecked)
+{
+    class OobKernel : public KernelBody
+    {
+      public:
+        std::string name() const override { return "Oob"; }
+        unsigned numPhases(unsigned) const override { return 1; }
+        void
+        run(unsigned, BlockContext &blk, unsigned tid) override
+        {
+            uint8_t v = 0;
+            blk.storeShared(tid, blk.sharedSize(), &v, 1);
+        }
+    };
+    LaunchSpec spec;
+    spec.body = std::make_shared<OobKernel>();
+    spec.gridDim = 1;
+    spec.blockDim = 1;
+    spec.sharedBytes = 16;
+    EXPECT_THROW(executeLaunch(dev(), cp(), spec), std::out_of_range);
+}
+
+TEST(Exec, WarpInstructionGroupingCountsConflicts)
+{
+    // A kernel whose 32 threads all load distinct words of bank 0:
+    // one load instruction with 31 conflicts.
+    class ConflictKernel : public KernelBody
+    {
+      public:
+        std::string name() const override { return "Conflict"; }
+        unsigned numPhases(unsigned) const override { return 1; }
+        void
+        run(unsigned, BlockContext &blk, unsigned tid) override
+        {
+            uint32_t v;
+            blk.loadShared(tid, tid * 128,
+                           reinterpret_cast<uint8_t *>(&v), 4);
+        }
+    };
+    LaunchSpec spec;
+    spec.body = std::make_shared<ConflictKernel>();
+    spec.gridDim = 1;
+    spec.blockDim = 32;
+    spec.sharedBytes = 32 * 128 + 4;
+
+    auto result = executeLaunch(dev(), cp(), spec);
+    EXPECT_EQ(result.profile.counters.sharedLoadInstrs, 1u);
+    EXPECT_EQ(result.profile.counters.sharedLoadConflicts, 31u);
+    EXPECT_EQ(result.profile.phases[0].bankConflicts, 31u);
+    EXPECT_GT(result.profile.phases[0].worstWarpConflictCycles, 0.0);
+}
+
+TEST(Exec, ExecuteBlockProfilesRequestedBlock)
+{
+    std::vector<uint32_t> results(8, 0);
+    LaunchSpec spec;
+    spec.body = std::make_shared<TreeSumKernel>(16, &results);
+    spec.gridDim = 8;
+    spec.blockDim = 16;
+    spec.sharedBytes = 64;
+
+    auto result = executeBlock(dev(), cp(), spec, 5);
+    // Only block 5 ran.
+    EXPECT_NE(results[5], 0u);
+    EXPECT_EQ(results[0], 0u);
+    EXPECT_EQ(result.profile.phases.size(), 5u);
+}
+
+TEST(Exec, CriticalPathSumsPhaseMaxima)
+{
+    LaunchSpec spec;
+    spec.body = std::make_shared<CostKernel>();
+    spec.gridDim = 1;
+    spec.blockDim = 32;
+    spec.cyclesPerHash = 100.0;
+
+    auto result = executeLaunch(dev(), cp(), spec);
+    const double critical = result.profile.criticalPathCycles(cp());
+    const double phase0 = result.profile.phases[0].maxThreadCycles;
+    const double phase1 = result.profile.phases[1].maxThreadCycles;
+    EXPECT_NEAR(critical,
+                phase0 + phase1 + cp().cyclesPerBarrier, 1e-6);
+}
+
+TEST(Exec, TotalsAggregateAcrossBlocks)
+{
+    LaunchSpec spec;
+    spec.body = std::make_shared<CostKernel>();
+    spec.gridDim = 5;
+    spec.blockDim = 32;
+    spec.cyclesPerHash = 100.0;
+
+    auto result = executeLaunch(dev(), cp(), spec);
+    EXPECT_EQ(result.totals.hashes, 5u * (32 * 2 + 5));
+}

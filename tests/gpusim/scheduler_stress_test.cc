@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Scheduler stress / property tests: randomized DAGs through the
+ * fluid-flow timeline simulator must respect dependencies, conserve
+ * work, and never lose kernels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/random.hh"
+#include "gpusim/scheduler.hh"
+
+using namespace herosign;
+using namespace herosign::gpu;
+
+namespace
+{
+
+DeviceProps
+dev()
+{
+    DeviceProps d = DeviceProps::rtx4090();
+    d.kernelLaunchOverheadUs = 1.0;
+    return d;
+}
+
+} // namespace
+
+class SchedulerRandomDag : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(SchedulerRandomDag, InvariantsHold)
+{
+    Rng rng(GetParam());
+    DeviceProps d = dev();
+    DeviceSim sim(d);
+
+    const int n = 20 + static_cast<int>(rng.below(40));
+    std::vector<int> ids;
+    std::vector<std::vector<int>> deps_of;
+    double total_work = 0;
+
+    for (int i = 0; i < n; ++i) {
+        KernelExecDesc k;
+        k.name = "k" + std::to_string(i);
+        k.durationAloneUs = 1.0 + static_cast<double>(rng.below(200));
+        k.utilization = 0.05 + 0.95 * (rng.below(100) / 100.0);
+        total_work += k.durationAloneUs * k.utilization;
+
+        std::vector<int> deps;
+        if (!ids.empty() && rng.below(2) == 0)
+            deps.push_back(ids[rng.below(ids.size())]);
+        const int stream = static_cast<int>(rng.below(6));
+        ids.push_back(sim.launch(k, stream, deps));
+        deps_of.push_back(deps);
+    }
+
+    auto r = sim.run();
+    ASSERT_EQ(r.entries.size(), static_cast<size_t>(n));
+
+    for (int i = 0; i < n; ++i) {
+        const auto &e = r.entries[i];
+        // Sanity of each timeline entry.
+        EXPECT_GE(e.startUs, e.submitUs - 1e-9) << i;
+        EXPECT_GT(e.endUs, e.startUs) << i;
+        EXPECT_LE(e.endUs, r.makespanUs + 1e-6) << i;
+        // Fluid sharing can only stretch, never shrink, a kernel.
+        // (Find the original duration via the launch order.)
+        // Explicit dependencies honored.
+        for (int dep : deps_of[i])
+            EXPECT_GE(e.startUs, r.entries[dep].endUs - 1e-6)
+                << i << " dep " << dep;
+    }
+
+    // Stream ordering: entries on the same stream never overlap.
+    std::map<int, std::vector<const TimelineEntry *>> by_stream;
+    for (const auto &e : r.entries)
+        by_stream[e.stream].push_back(&e);
+    for (auto &[stream, list] : by_stream) {
+        for (size_t a = 0; a < list.size(); ++a) {
+            for (size_t b = a + 1; b < list.size(); ++b) {
+                const auto *x = list[a];
+                const auto *y = list[b];
+                const bool disjoint = x->endUs <= y->startUs + 1e-6 ||
+                                      y->endUs <= x->startUs + 1e-6;
+                EXPECT_TRUE(disjoint)
+                    << "stream " << stream << " overlap";
+            }
+        }
+    }
+
+    // Work conservation: the device cannot finish faster than the
+    // total utilization-weighted work.
+    EXPECT_GE(r.makespanUs + 1e-6, total_work * 0.999 - 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SchedulerRandomDag,
+                         ::testing::Values(1u, 2u, 3u, 5u, 8u, 13u,
+                                           21u, 34u));
+
+TEST(SchedulerStress, LongDependencyChainSerializes)
+{
+    DeviceProps d = dev();
+    DeviceSim sim(d);
+    int prev = -1;
+    const int n = 50;
+    for (int i = 0; i < n; ++i) {
+        std::vector<int> deps;
+        if (prev >= 0)
+            deps.push_back(prev);
+        prev = sim.launch(KernelExecDesc{"c", 10.0, 0.1, 0},
+                          i % 4, deps);
+    }
+    auto r = sim.run();
+    // A chain cannot overlap: makespan >= n * duration.
+    EXPECT_GE(r.makespanUs, n * 10.0 - 1e-6);
+}
+
+TEST(SchedulerStress, WideFanOutOverlapsUpToCapacity)
+{
+    DeviceProps d = dev();
+    DeviceSim sim(d);
+    const int n = 40;
+    for (int i = 0; i < n; ++i)
+        sim.launch(KernelExecDesc{"w", 100.0, 0.1, 0}, i);
+    auto r = sim.run();
+    // 40 kernels at 10% utilization: at most 10 run at full speed
+    // concurrently -> makespan about n*util*duration once saturated.
+    EXPECT_LT(r.makespanUs, 100.0 * n); // far better than serial
+    EXPECT_GE(r.makespanUs, 100.0 * n * 0.1 * 0.9);
+}
+
+TEST(SchedulerStress, ManyGraphLaunchesStayConsistent)
+{
+    DeviceProps d = dev();
+    TaskGraph g;
+    int a = g.addNode(KernelExecDesc{"a", 5, 0.2, 0});
+    int b = g.addNode(KernelExecDesc{"b", 5, 0.2, 0});
+    g.addNode(KernelExecDesc{"c", 5, 0.2, 0}, {a, b});
+
+    DeviceSim sim(d);
+    for (int i = 0; i < 30; ++i)
+        sim.launchGraph(g, i % 3);
+    auto r = sim.run();
+    ASSERT_EQ(r.entries.size(), 90u);
+    for (size_t i = 0; i < r.entries.size(); i += 3) {
+        EXPECT_GE(r.entries[i + 2].startUs,
+                  std::max(r.entries[i].endUs, r.entries[i + 1].endUs) -
+                      1e-6);
+    }
+}
+
+TEST(SchedulerStress, PreGapDelaysDependentKernel)
+{
+    DeviceProps d = dev();
+    DeviceSim sim(d);
+    int a = sim.launch(KernelExecDesc{"a", 10, 1.0, 0}, 0);
+    KernelExecDesc gapped{"b", 10, 1.0, 25.0};
+    sim.launch(gapped, 0, {a});
+    auto r = sim.run();
+    EXPECT_GE(r.entries[1].startUs, r.entries[0].endUs + 25.0 - 1e-6);
+    EXPECT_GE(r.idleUs, 25.0 - 1e-6);
+}

@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Timeline simulator tests: stream ordering, cross-stream overlap,
+ * dependency handling, idle accounting, and the graph-vs-stream
+ * launch latency mechanism of Fig. 12.
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpusim/scheduler.hh"
+
+using namespace herosign::gpu;
+
+namespace
+{
+
+DeviceProps
+testDevice()
+{
+    DeviceProps d = DeviceProps::rtx4090();
+    d.kernelLaunchOverheadUs = 4.0;
+    d.graphLaunchOverheadUs = 8.0;
+    d.graphNodeOverheadUs = 0.05;
+    return d;
+}
+
+KernelExecDesc
+kernel(const std::string &name, double us, double util)
+{
+    return KernelExecDesc{name, us, util};
+}
+
+} // namespace
+
+TEST(DeviceSim, SingleKernelTimeline)
+{
+    DeviceProps dev = testDevice();
+    DeviceSim sim(dev);
+    sim.launch(kernel("k", 100, 1.0), 0);
+    auto r = sim.run();
+    ASSERT_EQ(r.entries.size(), 1u);
+    EXPECT_DOUBLE_EQ(r.entries[0].submitUs, 4.0);
+    EXPECT_DOUBLE_EQ(r.entries[0].startUs, 4.0);
+    EXPECT_DOUBLE_EQ(r.entries[0].endUs, 104.0);
+    EXPECT_DOUBLE_EQ(r.makespanUs, 104.0);
+    // The pre-start gap counts as idle.
+    EXPECT_DOUBLE_EQ(r.idleUs, 4.0);
+}
+
+TEST(DeviceSim, StreamOrderingSerializes)
+{
+    DeviceProps dev = testDevice();
+    DeviceSim sim(dev);
+    sim.launch(kernel("a", 50, 0.3), 0);
+    sim.launch(kernel("b", 50, 0.3), 0);
+    auto r = sim.run();
+    // Same stream: b starts only after a ends despite low utilization.
+    EXPECT_GE(r.entries[1].startUs, r.entries[0].endUs);
+}
+
+TEST(DeviceSim, LowUtilizationKernelsOverlapAcrossStreams)
+{
+    DeviceProps dev = testDevice();
+    DeviceSim sim(dev);
+    sim.launch(kernel("a", 100, 0.4), 0);
+    sim.launch(kernel("b", 100, 0.4), 1);
+    auto r = sim.run();
+    // Total utilization 0.8 <= 1: full overlap, no slowdown.
+    EXPECT_LT(r.makespanUs, 100 + 100); // far less than serial
+    EXPECT_NEAR(r.entries[1].endUs, r.entries[1].startUs + 100, 1.0);
+}
+
+TEST(DeviceSim, SaturatingKernelsShareThroughput)
+{
+    DeviceProps dev = testDevice();
+    DeviceSim sim(dev);
+    sim.launch(kernel("a", 100, 1.0), 0);
+    sim.launch(kernel("b", 100, 1.0), 1);
+    auto r = sim.run();
+    // Two saturating kernels: fluid sharing -> both roughly double.
+    EXPECT_GT(r.makespanUs, 190);
+    EXPECT_LT(r.makespanUs, 230);
+}
+
+TEST(DeviceSim, CrossStreamDependencyHonored)
+{
+    DeviceProps dev = testDevice();
+    DeviceSim sim(dev);
+    int a = sim.launch(kernel("fors", 50, 0.5), 0);
+    int b = sim.launch(kernel("tree", 80, 0.5), 1);
+    sim.launch(kernel("wots", 30, 0.5), 0, {a, b});
+    auto r = sim.run();
+    EXPECT_GE(r.entries[2].startUs,
+              std::max(r.entries[0].endUs, r.entries[1].endUs));
+}
+
+TEST(DeviceSim, IdleTimeBetweenDependentKernels)
+{
+    DeviceProps dev = testDevice();
+    dev.kernelLaunchOverheadUs = 10.0;
+    DeviceSim sim(dev);
+    // Host submits the second kernel only after 2 x 10us of API time;
+    // the first kernel (10us long) finishes before the second is
+    // submitted -> a visible device gap.
+    sim.launch(kernel("a", 5, 1.0), 0);
+    sim.launch(kernel("b", 5, 1.0), 0);
+    auto r = sim.run();
+    EXPECT_GT(r.idleUs, 0.0);
+}
+
+TEST(DeviceSim, LaunchLatencyIncludesQueueing)
+{
+    DeviceProps dev = testDevice();
+    DeviceSim sim(dev);
+    sim.launch(kernel("a", 100, 1.0), 0);
+    sim.launch(kernel("b", 100, 1.0), 0); // queued behind a
+    auto r = sim.run();
+    // b waits ~96us in the stream queue plus its API overhead.
+    EXPECT_GT(r.entries[1].launchLatencyUs, 90.0);
+    EXPECT_GT(r.launchLatencyUs, r.entries[1].launchLatencyUs);
+}
+
+TEST(DeviceSim, GraphNodesPayOnlyDispatchOverhead)
+{
+    DeviceProps dev = testDevice();
+
+    // Stream version: 3 dependent kernels.
+    DeviceSim streams(dev);
+    int a = streams.launch(kernel("a", 50, 1.0), 0);
+    int b = streams.launch(kernel("b", 50, 1.0), 1);
+    streams.launch(kernel("c", 50, 1.0), 0, {a, b});
+    auto rs = streams.run();
+
+    // Graph version of the same DAG.
+    TaskGraph g;
+    int ga = g.addNode(kernel("a", 50, 1.0));
+    int gb = g.addNode(kernel("b", 50, 1.0));
+    g.addNode(kernel("c", 50, 1.0), {ga, gb});
+    DeviceSim graphs(dev);
+    graphs.launchGraph(g, 0);
+    auto rg = graphs.run();
+
+    // Same execution structure...
+    EXPECT_NEAR(rg.entries[2].endUs - rg.entries[0].startUs,
+                rs.entries[2].endUs - rs.entries[0].startUs, 20.0);
+    // ...but about two orders of magnitude lower launch latency.
+    EXPECT_LT(rg.launchLatencyUs, rs.launchLatencyUs / 5.0);
+    EXPECT_NEAR(rg.launchLatencyUs,
+                dev.graphLaunchOverheadUs + 3 * dev.graphNodeOverheadUs,
+                1e-9);
+}
+
+TEST(DeviceSim, GraphDagParallelismExploited)
+{
+    DeviceProps dev = testDevice();
+    TaskGraph g;
+    int a = g.addNode(kernel("fors", 60, 0.45));
+    int b = g.addNode(kernel("tree", 60, 0.45));
+    g.addNode(kernel("wots", 20, 0.5), {a, b});
+    DeviceSim sim(dev);
+    sim.launchGraph(g, 0);
+    auto r = sim.run();
+    // fors and tree overlap (combined utilization < 1).
+    EXPECT_LT(r.entries[1].startUs, r.entries[0].endUs);
+    EXPECT_GE(r.entries[2].startUs, r.entries[0].endUs);
+}
+
+TEST(DeviceSim, MultipleGraphLaunchesOnStreamsOverlap)
+{
+    DeviceProps dev = testDevice();
+    TaskGraph g;
+    int a = g.addNode(kernel("fors", 40, 0.3));
+    g.addNode(kernel("wots", 20, 0.3), {a});
+
+    DeviceSim sim(dev);
+    for (int s = 0; s < 4; ++s)
+        sim.launchGraph(g, s);
+    auto r = sim.run();
+    ASSERT_EQ(r.entries.size(), 8u);
+    // Four independent 60us chains at 0.3 utilization overlap well:
+    // makespan must be far below 4 x 60.
+    EXPECT_LT(r.makespanUs, 150.0);
+}
+
+TEST(DeviceSim, GraphOrderedAfterStreamWork)
+{
+    DeviceProps dev = testDevice();
+    DeviceSim sim(dev);
+    sim.launch(kernel("pre", 50, 1.0), 0);
+    TaskGraph g;
+    g.addNode(kernel("g0", 10, 1.0));
+    sim.launchGraph(g, 0);
+    auto r = sim.run();
+    EXPECT_GE(r.entries[1].startUs, r.entries[0].endUs);
+}
+
+TEST(DeviceSim, PerKernelBusyAccounting)
+{
+    DeviceProps dev = testDevice();
+    DeviceSim sim(dev);
+    sim.launch(kernel("x", 30, 1.0), 0);
+    sim.launch(kernel("x", 30, 1.0), 0);
+    sim.launch(kernel("y", 10, 1.0), 0);
+    auto r = sim.run();
+    auto busy = r.perKernelBusyUs();
+    EXPECT_NEAR(busy["x"], 60.0, 1e-6);
+    EXPECT_NEAR(busy["y"], 10.0, 1e-6);
+}
+
+TEST(DeviceSim, RejectsBadDependencyIds)
+{
+    DeviceProps dev = testDevice();
+    DeviceSim sim(dev);
+    EXPECT_THROW(sim.launch(kernel("a", 10, 1.0), 0, {5}),
+                 std::invalid_argument);
+}
+
+TEST(TaskGraph, RejectsForwardEdges)
+{
+    TaskGraph g;
+    EXPECT_THROW(g.addNode(kernel("a", 1, 1), {0}),
+                 std::invalid_argument);
+    int a = g.addNode(kernel("a", 1, 1));
+    EXPECT_NO_THROW(g.addNode(kernel("b", 1, 1), {a}));
+    EXPECT_THROW(g.addNode(kernel("c", 1, 1), {7}),
+                 std::invalid_argument);
+}
+
+TEST(DeviceSim, EmptyRunIsClean)
+{
+    DeviceProps dev = testDevice();
+    DeviceSim sim(dev);
+    auto r = sim.run();
+    EXPECT_EQ(r.entries.size(), 0u);
+    EXPECT_DOUBLE_EQ(r.makespanUs, 0.0);
+    EXPECT_DOUBLE_EQ(r.launchLatencyUs, 0.0);
+}

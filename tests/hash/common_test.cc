@@ -1,0 +1,141 @@
+/**
+ * @file
+ * Tests for the common substrate: byte helpers, hex, RNG, table
+ * printer.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/bytes.hh"
+#include "common/hex.hh"
+#include "common/random.hh"
+#include "common/table.hh"
+
+using namespace herosign;
+
+TEST(Bytes, BigEndianRoundTrip32)
+{
+    uint8_t buf[4];
+    storeBe32(buf, 0x01020304u);
+    EXPECT_EQ(buf[0], 0x01);
+    EXPECT_EQ(buf[3], 0x04);
+    EXPECT_EQ(loadBe32(buf), 0x01020304u);
+}
+
+TEST(Bytes, BigEndianRoundTrip64)
+{
+    uint8_t buf[8];
+    storeBe64(buf, 0x0102030405060708ULL);
+    EXPECT_EQ(buf[0], 0x01);
+    EXPECT_EQ(buf[7], 0x08);
+    EXPECT_EQ(loadBe64(buf), 0x0102030405060708ULL);
+}
+
+TEST(Bytes, ToByteMatchesSpec)
+{
+    uint8_t buf[4];
+    toByte(buf, 0x1234, 4);
+    EXPECT_EQ(buf[0], 0x00);
+    EXPECT_EQ(buf[1], 0x00);
+    EXPECT_EQ(buf[2], 0x12);
+    EXPECT_EQ(buf[3], 0x34);
+
+    // Truncating conversion keeps the low-order bytes.
+    uint8_t two[2];
+    toByte(two, 0xabcdef, 2);
+    EXPECT_EQ(two[0], 0xcd);
+    EXPECT_EQ(two[1], 0xef);
+}
+
+TEST(Bytes, CtEqual)
+{
+    ByteVec a{1, 2, 3}, b{1, 2, 3}, c{1, 2, 4}, d{1, 2};
+    EXPECT_TRUE(ctEqual(a, b));
+    EXPECT_FALSE(ctEqual(a, c));
+    EXPECT_FALSE(ctEqual(a, d));
+    EXPECT_TRUE(ctEqual({}, {}));
+}
+
+TEST(Hex, RoundTrip)
+{
+    ByteVec data{0x00, 0x01, 0xab, 0xff};
+    EXPECT_EQ(hexEncode(data), "0001abff");
+    EXPECT_EQ(hexDecode("0001abff"), data);
+    EXPECT_EQ(hexDecode("0001ABFF"), data);
+}
+
+TEST(Hex, RejectsBadInput)
+{
+    EXPECT_THROW(hexDecode("abc"), std::invalid_argument);
+    EXPECT_THROW(hexDecode("zz"), std::invalid_argument);
+}
+
+TEST(Rng, Deterministic)
+{
+    Rng a(123), b(123), c(124);
+    EXPECT_EQ(a.next(), b.next());
+    EXPECT_NE(a.next(), c.next());
+}
+
+TEST(Rng, BelowInRange)
+{
+    Rng rng(5);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(rng.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversRange)
+{
+    Rng rng(6);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.below(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, FillLengths)
+{
+    Rng rng(7);
+    for (size_t len : {0u, 1u, 7u, 8u, 9u, 64u}) {
+        ByteVec v = rng.bytes(len);
+        EXPECT_EQ(v.size(), len);
+    }
+}
+
+TEST(TextTable, RendersAlignedAndCsv)
+{
+    TextTable t({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addSeparator();
+    t.addRow({"b", "22"});
+    std::string text = t.render();
+    EXPECT_NE(text.find("| alpha | 1"), std::string::npos);
+    EXPECT_NE(text.find("+-"), std::string::npos);
+    EXPECT_EQ(t.rowCount(), 2u);
+
+    std::string csv = t.renderCsv();
+    EXPECT_NE(csv.find("name,value"), std::string::npos);
+    EXPECT_NE(csv.find("alpha,1"), std::string::npos);
+}
+
+TEST(TextTable, RejectsWrongWidth)
+{
+    TextTable t({"a", "b"});
+    EXPECT_THROW(t.addRow({"only-one"}), std::invalid_argument);
+}
+
+TEST(TextTable, CsvEscaping)
+{
+    TextTable t({"a"});
+    t.addRow({"x,y \"z\""});
+    EXPECT_EQ(t.renderCsv(), "a\n\"x,y \"\"z\"\"\"\n");
+}
+
+TEST(Format, Helpers)
+{
+    EXPECT_EQ(fmtF(1.23456, 2), "1.23");
+    EXPECT_EQ(fmtX(2.5, 1), "2.5x");
+    EXPECT_EQ(fmtGrouped(1234567), "1,234,567");
+    EXPECT_EQ(fmtGrouped(12), "12");
+}

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * HMAC-SHA-256 against RFC 4231 vectors; MGF1-SHA-256 against its
+ * counter-block definition (RFC 8017 B.2.1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/hex.hh"
+#include "common/random.hh"
+#include "hash/hmac.hh"
+#include "hash/mgf1.hh"
+#include "hash/sha256.hh"
+
+using namespace herosign;
+
+namespace
+{
+
+std::string
+hmacHex(ByteSpan key, ByteSpan msg)
+{
+    auto d = HmacSha256::mac(key, msg);
+    return hexEncode(ByteSpan(d.data(), d.size()));
+}
+
+ByteVec
+strBytes(const std::string &s)
+{
+    return ByteVec(s.begin(), s.end());
+}
+
+} // namespace
+
+TEST(HmacSha256, Rfc4231Case1)
+{
+    ByteVec key(20, 0x0b);
+    EXPECT_EQ(hmacHex(key, strBytes("Hi There")),
+        "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32c"
+        "ff7");
+}
+
+TEST(HmacSha256, Rfc4231Case2)
+{
+    EXPECT_EQ(hmacHex(strBytes("Jefe"),
+                      strBytes("what do ya want for nothing?")),
+        "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3"
+        "843");
+}
+
+TEST(HmacSha256, Rfc4231Case3)
+{
+    ByteVec key(20, 0xaa);
+    ByteVec msg(50, 0xdd);
+    EXPECT_EQ(hmacHex(key, msg),
+        "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced56"
+        "5fe");
+}
+
+TEST(HmacSha256, Rfc4231Case6LargerThanBlockKey)
+{
+    ByteVec key(131, 0xaa);
+    EXPECT_EQ(hmacHex(key, strBytes(
+        "Test Using Larger Than Block-Size Key - Hash Key First")),
+        "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37"
+        "f54");
+}
+
+TEST(HmacSha256, IncrementalMatchesOneShot)
+{
+    Rng rng(42);
+    ByteVec key = rng.bytes(32);
+    ByteVec msg = rng.bytes(300);
+
+    auto one_shot = HmacSha256::mac(key, msg);
+
+    HmacSha256 ctx(key);
+    ctx.update(ByteSpan(msg.data(), 100));
+    ctx.update(ByteSpan(msg.data() + 100, 200));
+    uint8_t out[32];
+    ctx.final(out);
+
+    EXPECT_TRUE(ctEqual(ByteSpan(out, 32),
+                        ByteSpan(one_shot.data(), 32)));
+}
+
+TEST(Mgf1Sha256, MatchesCounterBlockDefinition)
+{
+    Rng rng(9);
+    ByteVec seed = rng.bytes(48);
+
+    ByteVec out(100);
+    mgf1Sha256(out, seed);
+
+    // Block i of the output must equal SHA-256(seed || BE32(i)).
+    for (uint32_t i = 0; i * 32 < out.size(); ++i) {
+        ByteVec block_in = seed;
+        uint8_t ctr[4];
+        storeBe32(ctr, i);
+        append(block_in, ByteSpan(ctr, 4));
+        auto block = Sha256::digest(block_in);
+        size_t take = std::min<size_t>(32, out.size() - i * 32);
+        EXPECT_TRUE(ctEqual(ByteSpan(out.data() + i * 32, take),
+                            ByteSpan(block.data(), take)))
+            << "block " << i;
+    }
+}
+
+TEST(Mgf1Sha256, PrefixConsistency)
+{
+    // A longer mask must begin with the shorter mask of the same seed.
+    Rng rng(10);
+    ByteVec seed = rng.bytes(16);
+    ByteVec short_mask(20), long_mask(77);
+    mgf1Sha256(short_mask, seed);
+    mgf1Sha256(long_mask, seed);
+    EXPECT_TRUE(ctEqual(short_mask,
+                        ByteSpan(long_mask.data(), short_mask.size())));
+}
+
+TEST(Mgf1Sha256, ZeroLengthOutput)
+{
+    ByteVec seed{1, 2, 3};
+    ByteVec out;
+    mgf1Sha256(out, seed); // must not crash
+    EXPECT_TRUE(out.empty());
+}

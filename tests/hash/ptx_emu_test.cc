@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Semantics of the emulated PTX instructions (prmt.b32, mad.lo.u32)
+ * used by the PTX-flavoured SHA-256 branch.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "hash/ptx_emu.hh"
+
+using namespace herosign;
+
+TEST(PtxPrmt, ByteSwapSelector)
+{
+    // prmt d, a, 0, 0x0123 reverses the four bytes of a.
+    EXPECT_EQ(ptxPrmt(0x01020304u, 0, 0x0123), 0x04030201u);
+    EXPECT_EQ(ptxPrmt(0xdeadbeefu, 0, 0x0123), 0xefbeaddeu);
+    EXPECT_EQ(ptxByteSwap(0x01020304u), 0x04030201u);
+}
+
+TEST(PtxPrmt, IdentitySelector)
+{
+    // Selector 0x3210 keeps a unchanged.
+    EXPECT_EQ(ptxPrmt(0x01020304u, 0xffffffffu, 0x3210), 0x01020304u);
+}
+
+TEST(PtxPrmt, SelectsFromSecondOperand)
+{
+    // Nibbles 4..7 index bytes of b.
+    EXPECT_EQ(ptxPrmt(0x00000000u, 0x0a0b0c0du, 0x7654), 0x0a0b0c0du);
+    // Mixed: byte0 from a, byte1 from b.
+    EXPECT_EQ(ptxPrmt(0x000000aau, 0x000000bbu, 0x0040) & 0xffffu,
+              0xbbaau);
+}
+
+TEST(PtxPrmt, ReplicateSingleByte)
+{
+    EXPECT_EQ(ptxPrmt(0x000000cdu, 0, 0x0000), 0xcdcdcdcdu);
+}
+
+TEST(PtxPrmt, ByteSwapIsInvolution)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i) {
+        uint32_t v = static_cast<uint32_t>(rng.next());
+        EXPECT_EQ(ptxByteSwap(ptxByteSwap(v)), v);
+    }
+}
+
+TEST(PtxMadLo, BasicAndOverflow)
+{
+    EXPECT_EQ(ptxMadLo(3, 4, 5), 17u);
+    // Low 32 bits only.
+    EXPECT_EQ(ptxMadLo(0xffffffffu, 2, 1), 0xffffffffu);
+    // With multiplier 1 it is a plain addition (the paper's m = 1).
+    Rng rng(4);
+    for (int i = 0; i < 100; ++i) {
+        uint32_t a = static_cast<uint32_t>(rng.next());
+        uint32_t c = static_cast<uint32_t>(rng.next());
+        EXPECT_EQ(ptxMadLo(a, 1, c), a + c);
+    }
+}

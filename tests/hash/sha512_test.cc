@@ -1,0 +1,99 @@
+/**
+ * @file
+ * SHA-512 correctness against FIPS 180-4 vectors.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/hex.hh"
+#include "common/random.hh"
+#include "hash/sha512.hh"
+
+using namespace herosign;
+
+namespace
+{
+
+std::string
+sha512Hex(ByteSpan data)
+{
+    auto d = Sha512::digest(data);
+    return hexEncode(ByteSpan(d.data(), d.size()));
+}
+
+ByteVec
+strBytes(const std::string &s)
+{
+    return ByteVec(s.begin(), s.end());
+}
+
+} // namespace
+
+TEST(Sha512, Empty)
+{
+    EXPECT_EQ(sha512Hex({}),
+        "cf83e1357eefb8bdf1542850d66d8007d620e4050b5715dc83f4a921d36ce"
+        "9ce47d0d13c5d85f2b0ff8318d2877eec2f63b931bd47417a81a538327af9"
+        "27da3e");
+}
+
+TEST(Sha512, Abc)
+{
+    EXPECT_EQ(sha512Hex(strBytes("abc")),
+        "ddaf35a193617abacc417349ae20413112e6fa4e89a97ea20a9eeee64b55d"
+        "39a2192992a274fc1a836ba3c23a3feebbd454d4423643ce80e2a9ac94fa5"
+        "4ca49f");
+}
+
+TEST(Sha512, TwoBlockMessage)
+{
+    EXPECT_EQ(sha512Hex(strBytes(
+        "abcdefghbcdefghicdefghijdefghijkefghijklfghijklmghijklmnhijkl"
+        "mnoijklmnopjklmnopqklmnopqrlmnopqrsmnopqrstnopqrstu")),
+        "8e959b75dae313da8cf4f72814fc143f8f7779c6eb9f7fa17299aeadb6889"
+        "018501d289e4900f7e4331b99dec4b5433ac7d329eeb6dd26545e96e55b87"
+        "4be909");
+}
+
+TEST(Sha512, IncrementalMatchesOneShot)
+{
+    Rng rng(7);
+    ByteVec data = rng.bytes(777);
+    auto expected = Sha512::digest(data);
+
+    for (size_t chunk : {1u, 63u, 64u, 127u, 128u, 129u, 500u}) {
+        Sha512 ctx;
+        size_t off = 0;
+        while (off < data.size()) {
+            size_t take = std::min(chunk, data.size() - off);
+            ctx.update(ByteSpan(data.data() + off, take));
+            off += take;
+        }
+        uint8_t out[64];
+        ctx.final(out);
+        EXPECT_EQ(hexEncode(ByteSpan(out, 64)),
+                  hexEncode(ByteSpan(expected.data(), 64)))
+            << "chunk=" << chunk;
+    }
+}
+
+TEST(Sha512, BlockBoundaryLengths)
+{
+    // 111/112 straddle the single-block padding limit for SHA-512.
+    for (size_t len : {111u, 112u, 127u, 128u, 129u}) {
+        ByteVec data(len, 'x');
+        Sha512 ctx;
+        ctx.update(data);
+        uint8_t out[64];
+        ctx.final(out);
+        // Compare against one-shot of the same implementation (an
+        // internal-consistency check; absolute vectors above anchor
+        // the implementation).
+        auto expected = Sha512::digest(data);
+        EXPECT_TRUE(ctEqual(ByteSpan(out, 64),
+                            ByteSpan(expected.data(), 64)))
+            << "len=" << len;
+    }
+}

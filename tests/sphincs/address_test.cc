@@ -1,0 +1,148 @@
+/**
+ * @file
+ * ADRS layout tests: field placement, compression, type-change
+ * semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "sphincs/address.hh"
+
+using namespace herosign;
+using namespace herosign::sphincs;
+
+TEST(Address, DefaultIsZero)
+{
+    Address a;
+    for (uint8_t b : a.full())
+        EXPECT_EQ(b, 0);
+}
+
+TEST(Address, FieldPlacement)
+{
+    Address a;
+    a.setLayer(0x0a);
+    a.setTree(0x0102030405060708ULL);
+    a.setType(AddrType::WotsHash);
+    a.setKeypair(0x11223344);
+    a.setChain(0x55667788);
+    a.setHash(0x99aabbcc);
+
+    ByteSpan f = a.full();
+    EXPECT_EQ(f[3], 0x0a);           // layer low byte
+    EXPECT_EQ(f[8], 0x01);           // tree high byte (of low 8)
+    EXPECT_EQ(f[15], 0x08);          // tree low byte
+    EXPECT_EQ(f[19], 0x00);          // type = WotsHash = 0
+    EXPECT_EQ(f[20], 0x11);          // keypair
+    EXPECT_EQ(f[24], 0x55);          // chain
+    EXPECT_EQ(f[28], 0x99);          // hash
+
+    EXPECT_EQ(a.layer(), 0x0au);
+    EXPECT_EQ(a.tree(), 0x0102030405060708ULL);
+    EXPECT_EQ(a.keypair(), 0x11223344u);
+    EXPECT_EQ(a.chain(), 0x55667788u);
+    EXPECT_EQ(a.hash(), 0x99aabbccu);
+}
+
+TEST(Address, SetTypeClearsTypeSpecificWords)
+{
+    Address a;
+    a.setType(AddrType::WotsHash);
+    a.setKeypair(7);
+    a.setChain(8);
+    a.setHash(9);
+    a.setType(AddrType::Tree);
+    EXPECT_EQ(a.keypair(), 0u);
+    EXPECT_EQ(a.treeHeight(), 0u);
+    EXPECT_EQ(a.treeIndex(), 0u);
+    EXPECT_EQ(a.type(), AddrType::Tree);
+}
+
+TEST(Address, SetTypePreservesLayerAndTree)
+{
+    Address a;
+    a.setLayer(3);
+    a.setTree(42);
+    a.setType(AddrType::ForsTree);
+    EXPECT_EQ(a.layer(), 3u);
+    EXPECT_EQ(a.tree(), 42u);
+}
+
+TEST(Address, CompressedLayout)
+{
+    Address a;
+    a.setLayer(0x0b);
+    a.setTree(0x1122334455667788ULL);
+    a.setType(AddrType::ForsTree);
+    a.setKeypair(5);
+    a.setTreeHeight(2);
+    a.setTreeIndex(0xdeadbeef);
+
+    auto c = a.compressed();
+    ASSERT_EQ(c.size(), 22u);
+    EXPECT_EQ(c[0], 0x0b);                        // layer
+    EXPECT_EQ(c[1], 0x11);                        // tree[0]
+    EXPECT_EQ(c[8], 0x88);                        // tree[7]
+    EXPECT_EQ(c[9], static_cast<uint8_t>(AddrType::ForsTree));
+    EXPECT_EQ(c[10], 0x00);                       // keypair BE
+    EXPECT_EQ(c[13], 0x05);
+    EXPECT_EQ(c[14], 0x00);                       // height BE
+    EXPECT_EQ(c[17], 0x02);
+    EXPECT_EQ(c[18], 0xde);                       // index BE
+    EXPECT_EQ(c[21], 0xef);
+}
+
+TEST(Address, CompressedDistinguishesTypes)
+{
+    Address a, b;
+    a.setType(AddrType::WotsPrf);
+    b.setType(AddrType::ForsPrf);
+    EXPECT_NE(a.compressed(), b.compressed());
+}
+
+TEST(Address, CopySubtree)
+{
+    Address src;
+    src.setLayer(2);
+    src.setTree(99);
+    src.setType(AddrType::WotsHash);
+    src.setKeypair(4);
+
+    Address dst;
+    dst.setType(AddrType::Tree);
+    dst.setTreeIndex(77);
+    dst.copySubtree(src);
+
+    EXPECT_EQ(dst.layer(), 2u);
+    EXPECT_EQ(dst.tree(), 99u);
+    EXPECT_EQ(dst.type(), AddrType::Tree);   // type untouched
+    EXPECT_EQ(dst.treeIndex(), 77u);         // payload untouched
+}
+
+TEST(Address, CopyKeypair)
+{
+    Address src;
+    src.setLayer(1);
+    src.setTree(5);
+    src.setType(AddrType::WotsHash);
+    src.setKeypair(123);
+
+    Address dst;
+    dst.setType(AddrType::WotsPrf);
+    dst.copyKeypair(src);
+
+    EXPECT_EQ(dst.layer(), 1u);
+    EXPECT_EQ(dst.tree(), 5u);
+    EXPECT_EQ(dst.keypair(), 123u);
+    EXPECT_EQ(dst.type(), AddrType::WotsPrf);
+}
+
+TEST(Address, Equality)
+{
+    Address a, b;
+    a.setLayer(1);
+    b.setLayer(1);
+    EXPECT_TRUE(a == b);
+    b.setTree(2);
+    EXPECT_FALSE(a == b);
+}

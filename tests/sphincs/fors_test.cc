@@ -1,0 +1,171 @@
+/**
+ * @file
+ * FORS tests: index extraction, leaf derivation, and the sign →
+ * pk-from-sig roundtrip property.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "sphincs/fors.hh"
+#include "sphincs/params.hh"
+#include "sphincs/thash.hh"
+
+using namespace herosign;
+using namespace herosign::sphincs;
+
+namespace
+{
+
+class ForsTest : public ::testing::TestWithParam<const Params *>
+{
+  protected:
+    const Params &p() const { return *GetParam(); }
+
+    Context
+    makeContext(Rng &rng) const
+    {
+        return Context(p(), rng.bytes(p().n), rng.bytes(p().n));
+    }
+
+    Address
+    forsAddress() const
+    {
+        Address a;
+        a.setLayer(0);
+        a.setTree(77);
+        a.setType(AddrType::ForsTree);
+        a.setKeypair(3);
+        return a;
+    }
+};
+
+} // namespace
+
+TEST_P(ForsTest, IndicesInRangeAndBitExact)
+{
+    Rng rng(30);
+    ByteVec mhash = rng.bytes(p().forsMsgBytes());
+    uint32_t indices[64];
+    messageToIndices(indices, p(), mhash.data());
+
+    // Recompute by walking the bitstream.
+    size_t bit = 0;
+    for (unsigned i = 0; i < p().forsTrees; ++i) {
+        uint32_t expected = 0;
+        for (unsigned b = 0; b < p().forsHeight; ++b, ++bit) {
+            expected = (expected << 1) |
+                       ((mhash[bit >> 3] >> (7 - (bit & 7))) & 1u);
+        }
+        EXPECT_EQ(indices[i], expected) << "tree " << i;
+        EXPECT_LT(indices[i], p().forsLeaves());
+    }
+}
+
+TEST_P(ForsTest, IndicesAllZeroAllOnes)
+{
+    ByteVec zeros(p().forsMsgBytes(), 0x00);
+    ByteVec ones(p().forsMsgBytes(), 0xff);
+    uint32_t idx0[64], idx1[64];
+    messageToIndices(idx0, p(), zeros.data());
+    messageToIndices(idx1, p(), ones.data());
+    for (unsigned i = 0; i < p().forsTrees; ++i) {
+        EXPECT_EQ(idx0[i], 0u);
+        EXPECT_EQ(idx1[i], p().forsLeaves() - 1);
+    }
+}
+
+TEST_P(ForsTest, SignRecoverRoundtrip)
+{
+    Rng rng(31);
+    Context ctx = makeContext(rng);
+    Address adrs = forsAddress();
+
+    ByteVec mhash = rng.bytes(p().forsMsgBytes());
+    ByteVec sig(p().forsSigBytes());
+    uint8_t pk[maxN];
+    forsSign(sig.data(), pk, mhash.data(), ctx, adrs);
+
+    uint8_t recovered[maxN];
+    forsPkFromSig(recovered, sig.data(), mhash.data(), ctx, adrs);
+    EXPECT_TRUE(ctEqual(ByteSpan(recovered, p().n), ByteSpan(pk, p().n)));
+}
+
+TEST_P(ForsTest, TamperedSignatureChangesPk)
+{
+    Rng rng(32);
+    Context ctx = makeContext(rng);
+    Address adrs = forsAddress();
+
+    ByteVec mhash = rng.bytes(p().forsMsgBytes());
+    ByteVec sig(p().forsSigBytes());
+    uint8_t pk[maxN];
+    forsSign(sig.data(), pk, mhash.data(), ctx, adrs);
+
+    sig[0] ^= 0x01; // corrupt the first revealed secret value
+    uint8_t recovered[maxN];
+    forsPkFromSig(recovered, sig.data(), mhash.data(), ctx, adrs);
+    EXPECT_FALSE(ctEqual(ByteSpan(recovered, p().n),
+                         ByteSpan(pk, p().n)));
+}
+
+TEST_P(ForsTest, DifferentMessageDifferentPkRecovery)
+{
+    Rng rng(33);
+    Context ctx = makeContext(rng);
+    Address adrs = forsAddress();
+
+    ByteVec mhash = rng.bytes(p().forsMsgBytes());
+    ByteVec sig(p().forsSigBytes());
+    uint8_t pk[maxN];
+    forsSign(sig.data(), pk, mhash.data(), ctx, adrs);
+
+    ByteVec other = mhash;
+    other[0] ^= 0x80; // flips the first tree's index
+    uint8_t recovered[maxN];
+    forsPkFromSig(recovered, sig.data(), other.data(), ctx, adrs);
+    EXPECT_FALSE(ctEqual(ByteSpan(recovered, p().n),
+                         ByteSpan(pk, p().n)));
+}
+
+TEST_P(ForsTest, SkGenDistinctPerIndex)
+{
+    Rng rng(34);
+    Context ctx = makeContext(rng);
+    Address adrs = forsAddress();
+
+    uint8_t sk0[maxN], sk1[maxN];
+    forsSkGen(sk0, ctx, adrs, 0);
+    forsSkGen(sk1, ctx, adrs, 1);
+    EXPECT_FALSE(ctEqual(ByteSpan(sk0, p().n), ByteSpan(sk1, p().n)));
+}
+
+TEST_P(ForsTest, LeafIsThashOfSk)
+{
+    Rng rng(35);
+    Context ctx = makeContext(rng);
+    Address adrs = forsAddress();
+
+    const uint32_t idx = 5;
+    uint8_t sk[maxN];
+    forsSkGen(sk, ctx, adrs, idx);
+
+    Address leaf_adrs = adrs;
+    leaf_adrs.setTreeHeight(0);
+    leaf_adrs.setTreeIndex(idx);
+    uint8_t expected[maxN];
+    thashF(expected, ctx, leaf_adrs, sk);
+
+    uint8_t leaf[maxN];
+    forsGenLeaf(leaf, ctx, adrs, idx);
+    EXPECT_TRUE(ctEqual(ByteSpan(leaf, p().n),
+                        ByteSpan(expected, p().n)));
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSets, ForsTest,
+    ::testing::Values(&Params::sphincs128f(), &Params::sphincs192f(),
+                      &Params::sphincs256f()),
+    [](const ::testing::TestParamInfo<const Params *> &info) {
+        std::string name = info.param->name;
+        return name.substr(name.find('-') + 1);
+    });

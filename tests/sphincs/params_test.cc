@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Parameter-set derivations against the published SPHINCS+ numbers
+ * (paper Table I + the official -f signature/key sizes).
+ */
+
+#include <gtest/gtest.h>
+
+#include "sphincs/params.hh"
+
+using namespace herosign::sphincs;
+
+TEST(Params, Table1Values128f)
+{
+    const Params &p = Params::sphincs128f();
+    EXPECT_EQ(p.n, 16u);
+    EXPECT_EQ(p.fullHeight, 66u);
+    EXPECT_EQ(p.layers, 22u);
+    EXPECT_EQ(p.forsHeight, 6u);
+    EXPECT_EQ(p.forsTrees, 33u);
+    EXPECT_EQ(p.wotsW, 16u);
+    EXPECT_EQ(p.treeHeight(), 3u);
+    EXPECT_EQ(p.treeLeaves(), 8u);
+}
+
+TEST(Params, Table1Values192f)
+{
+    const Params &p = Params::sphincs192f();
+    EXPECT_EQ(p.n, 24u);
+    EXPECT_EQ(p.fullHeight, 66u);
+    EXPECT_EQ(p.layers, 22u);
+    EXPECT_EQ(p.forsHeight, 8u);
+    EXPECT_EQ(p.forsTrees, 33u);
+    EXPECT_EQ(p.treeHeight(), 3u);
+}
+
+TEST(Params, Table1Values256f)
+{
+    const Params &p = Params::sphincs256f();
+    EXPECT_EQ(p.n, 32u);
+    EXPECT_EQ(p.fullHeight, 68u);
+    EXPECT_EQ(p.layers, 17u);
+    EXPECT_EQ(p.forsHeight, 9u);
+    EXPECT_EQ(p.forsTrees, 35u);
+    EXPECT_EQ(p.treeHeight(), 4u);
+    EXPECT_EQ(p.treeLeaves(), 16u);
+}
+
+TEST(Params, WotsChainCounts)
+{
+    // len1 = 2n for w=16; len2 = 3 for all three sets; len matches the
+    // paper's 35/51/67 chain counts.
+    EXPECT_EQ(Params::sphincs128f().wotsLen1(), 32u);
+    EXPECT_EQ(Params::sphincs128f().wotsLen2(), 3u);
+    EXPECT_EQ(Params::sphincs128f().wotsLen(), 35u);
+    EXPECT_EQ(Params::sphincs192f().wotsLen(), 51u);
+    EXPECT_EQ(Params::sphincs256f().wotsLen(), 67u);
+}
+
+TEST(Params, OfficialSignatureSizes)
+{
+    // 17088 / 35664 / 49856 bytes are the published -f sizes; the
+    // paper quotes 17088 for 128f in its introduction.
+    EXPECT_EQ(Params::sphincs128f().sigBytes(), 17088u);
+    EXPECT_EQ(Params::sphincs192f().sigBytes(), 35664u);
+    EXPECT_EQ(Params::sphincs256f().sigBytes(), 49856u);
+}
+
+TEST(Params, KeySizes)
+{
+    EXPECT_EQ(Params::sphincs128f().pkBytes(), 32u);
+    EXPECT_EQ(Params::sphincs128f().skBytes(), 64u);
+    EXPECT_EQ(Params::sphincs256f().pkBytes(), 64u);
+    EXPECT_EQ(Params::sphincs256f().skBytes(), 128u);
+}
+
+TEST(Params, HypertreeLeafCounts)
+{
+    // Paper §III-B1: 176 / 176 / 272 hypertree leaves.
+    auto hypertree_leaves = [](const Params &p) {
+        return p.layers * p.treeLeaves();
+    };
+    EXPECT_EQ(hypertree_leaves(Params::sphincs128f()), 176u);
+    EXPECT_EQ(hypertree_leaves(Params::sphincs192f()), 176u);
+    EXPECT_EQ(hypertree_leaves(Params::sphincs256f()), 272u);
+}
+
+TEST(Params, ForsLeafCounts)
+{
+    // Paper §III-B1: 2112 / 8448 / 17920 total FORS leaves.
+    EXPECT_EQ(Params::sphincs128f().forsTotalLeaves(), 2112u);
+    EXPECT_EQ(Params::sphincs192f().forsTotalLeaves(), 8448u);
+    EXPECT_EQ(Params::sphincs256f().forsTotalLeaves(), 17920u);
+}
+
+TEST(Params, HashesPerWotsLeaf)
+{
+    // Paper §III: 560 / 816 / 1072 SHA-2 calls per wots_gen_leaf.
+    EXPECT_EQ(Params::sphincs128f().hashesPerWotsLeaf(), 560u);
+    EXPECT_EQ(Params::sphincs192f().hashesPerWotsLeaf(), 816u);
+    EXPECT_EQ(Params::sphincs256f().hashesPerWotsLeaf(), 1072u);
+}
+
+TEST(Params, DigestSplitWidths)
+{
+    const Params &p128 = Params::sphincs128f();
+    EXPECT_EQ(p128.forsMsgBytes(), 25u);  // ceil(33*6/8)
+    EXPECT_EQ(p128.treeBits(), 63u);
+    EXPECT_EQ(p128.leafBits(), 3u);
+    EXPECT_EQ(p128.msgDigestBytes(), 34u);
+
+    const Params &p256 = Params::sphincs256f();
+    EXPECT_EQ(p256.forsMsgBytes(), 40u);  // ceil(35*9/8)
+    EXPECT_EQ(p256.treeBits(), 64u);
+    EXPECT_EQ(p256.leafBits(), 4u);
+    EXPECT_EQ(p256.msgDigestBytes(), 49u);
+}
+
+TEST(Params, ValidateAcceptsPresets)
+{
+    for (const auto &p : Params::all())
+        EXPECT_NO_THROW(p.validate()) << p.name;
+}
+
+TEST(Params, ValidateRejectsBadSets)
+{
+    Params p = Params::sphincs128f();
+    p.n = 0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+
+    p = Params::sphincs128f();
+    p.wotsW = 4;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+
+    p = Params::sphincs128f();
+    p.layers = 7; // 66 % 7 != 0
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+
+    p = Params::sphincs128f();
+    p.forsTrees = 0;
+    EXPECT_THROW(p.validate(), std::invalid_argument);
+}
+
+TEST(Params, ByName)
+{
+    EXPECT_EQ(Params::byName("128f").n, 16u);
+    EXPECT_EQ(Params::byName("SPHINCS+-192f").n, 24u);
+    EXPECT_EQ(Params::byName("256f").n, 32u);
+    EXPECT_THROW(Params::byName("512f"), std::invalid_argument);
+}
+
+TEST(Params, SigBytesDecomposition)
+{
+    for (const auto &p : Params::all()) {
+        EXPECT_EQ(p.sigBytes(),
+                  p.n + p.forsSigBytes() + p.layers * p.xmssSigBytes())
+            << p.name;
+        EXPECT_EQ(p.xmssSigBytes(),
+                  p.wotsSigBytes() + p.treeHeight() * p.n)
+            << p.name;
+    }
+}
