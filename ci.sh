@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build everything (library, tests, bench,
+# examples) and run the full CTest suite. This is the exact line every
+# PR must keep green.
+set -euo pipefail
+
+cd "$(dirname "$0")"
+
+JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
+BUILD_DIR=${BUILD_DIR:-build}
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"

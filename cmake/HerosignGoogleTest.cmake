@@ -1,0 +1,37 @@
+# Resolve GoogleTest for the test suites.
+#
+# Preference order:
+#   1. An installed GTest (e.g. Debian's libgtest-dev CMake config) —
+#      no network access needed on provisioned build hosts.
+#   2. The distro source package at /usr/src/googletest, built in-tree.
+#   3. A network fetch of a pinned release, as a last resort.
+#
+# Defines the GTest::gtest / GTest::gtest_main targets either way.
+# Plain find_package-then-FetchContent keeps this working on CMake
+# 3.20 (FetchContent's FIND_PACKAGE_ARGS shorthand needs 3.24).
+find_package(GTest QUIET)
+
+if(NOT TARGET GTest::gtest_main)
+    include(FetchContent)
+
+    set(gtest_force_shared_crt ON CACHE BOOL "" FORCE) # keep MSVC happy
+    set(INSTALL_GTEST OFF CACHE BOOL "" FORCE)
+    set(BUILD_GMOCK OFF CACHE BOOL "" FORCE)
+
+    if(EXISTS /usr/src/googletest/CMakeLists.txt)
+        FetchContent_Declare(googletest SOURCE_DIR /usr/src/googletest)
+    else()
+        FetchContent_Declare(googletest
+            URL https://github.com/google/googletest/archive/refs/tags/v1.14.0.tar.gz
+            URL_HASH SHA256=8ad598c73ad796e0d8280b082cebd82a630d73e73cd3c70057938a6501bba5d7)
+    endif()
+
+    FetchContent_MakeAvailable(googletest)
+
+    # The in-tree build exports plain gtest/gtest_main targets;
+    # normalise to the namespaced form the rest of the build uses.
+    if(NOT TARGET GTest::gtest)
+        add_library(GTest::gtest ALIAS gtest)
+        add_library(GTest::gtest_main ALIAS gtest_main)
+    endif()
+endif()

@@ -182,7 +182,7 @@ class WotsSignKernel : public gpu::KernelBody
                    const MemPolicy &mem, Sha256Variant variant);
 
     std::string name() const override { return "WOTS+_Sign"; }
-    unsigned numPhases(unsigned block_idx) const override { return 1; }
+    unsigned numPhases(unsigned) const override { return 1; }
     void run(unsigned phase, gpu::BlockContext &blk,
              unsigned tid) override;
 

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Edge-case coverage for the common substrate: hex codec boundary
+ * inputs (odd lengths, empty strings, bad nibbles in either position)
+ * and Rng reseeding determinism / empty-buffer behaviour.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/hex.hh"
+#include "common/random.hh"
+
+using namespace herosign;
+
+TEST(HexEdge, EmptyInputs)
+{
+    EXPECT_EQ(hexEncode(ByteSpan{}), "");
+    EXPECT_TRUE(hexDecode("").empty());
+}
+
+TEST(HexEdge, OddLengthAlwaysThrows)
+{
+    for (const char *s : {"a", "abc", "00000"})
+        EXPECT_THROW(hexDecode(s), std::invalid_argument) << s;
+}
+
+TEST(HexEdge, BadNibbleInEitherPosition)
+{
+    EXPECT_THROW(hexDecode("g0"), std::invalid_argument);
+    EXPECT_THROW(hexDecode("0g"), std::invalid_argument);
+    EXPECT_THROW(hexDecode("00 1"), std::invalid_argument);
+    // The character one past each accepted range must be rejected.
+    EXPECT_THROW(hexDecode("3a:0"), std::invalid_argument);
+}
+
+TEST(HexEdge, AllByteValuesRoundTrip)
+{
+    ByteVec all(256);
+    for (int i = 0; i < 256; ++i)
+        all[i] = static_cast<uint8_t>(i);
+    std::string hex = hexEncode(all);
+    ASSERT_EQ(hex.size(), 512u);
+    EXPECT_EQ(hexDecode(hex), all);
+}
+
+TEST(HexEdge, MixedCaseDecodesIdentically)
+{
+    EXPECT_EQ(hexDecode("DeadBeef"), hexDecode("deadbeef"));
+}
+
+TEST(RngEdge, ReseedingSameSeedReplaysStream)
+{
+    Rng first(42);
+    ByteVec a = first.bytes(37);
+    uint64_t na = first.next();
+
+    // A fresh Rng constructed with the same seed must replay the exact
+    // stream, regardless of how the draws are chunked.
+    Rng second(42);
+    ByteVec b(37);
+    second.fill(b);
+    EXPECT_EQ(a, b);
+    EXPECT_EQ(second.next(), na);
+}
+
+TEST(RngEdge, ReseedingDifferentSeedDiverges)
+{
+    Rng a(1000), b(1001);
+    // Nearby seeds must not yield correlated first outputs.
+    EXPECT_NE(a.next(), b.next());
+}
+
+TEST(RngEdge, EmptyBuffersAreNoOps)
+{
+    Rng rng(9);
+    uint64_t before = Rng(9).next();
+    rng.fill(MutByteSpan{});
+    EXPECT_TRUE(rng.bytes(0).empty());
+    // Filling zero bytes must not consume generator state... but the
+    // implementation is allowed to burn a draw for a trailing partial
+    // word only when there are trailing bytes; with none, the next
+    // value matches a fresh generator's first draw.
+    EXPECT_EQ(rng.next(), before);
+}
+
+TEST(RngEdge, BelowOneAlwaysZero)
+{
+    Rng rng(3);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(rng.below(1), 0u);
+}
+
+TEST(RngEdge, ChunkedFillMatchesWholeFill)
+{
+    // fill() must produce the same bytes as bytes() for identical
+    // seeds when the total length is word-aligned chunking.
+    Rng a(77), b(77);
+    ByteVec whole = a.bytes(32);
+    ByteVec parts(32);
+    b.fill(MutByteSpan(parts.data(), 16));
+    b.fill(MutByteSpan(parts.data() + 16, 16));
+    EXPECT_EQ(whole, parts);
+}
+
+TEST(RngEdge, FromOsProducesDistinctStreams)
+{
+    // Not a determinism test — just that OS seeding yields an Rng that
+    // works and (overwhelmingly likely) differs between instances.
+    Rng a = Rng::fromOs();
+    Rng b = Rng::fromOs();
+    bool anyDiff = false;
+    for (int i = 0; i < 8; ++i)
+        anyDiff |= (a.next() != b.next());
+    EXPECT_TRUE(anyDiff);
+}
