@@ -1,0 +1,184 @@
+#include "batch/batch_signer.hh"
+
+#include <stdexcept>
+
+namespace herosign::batch
+{
+
+using sphincs::Params;
+using sphincs::SecretKey;
+
+BatchSigner::BatchSigner(const Params &params, const SecretKey &sk,
+                         const BatchSignerConfig &config)
+    : params_(params),
+      queue_(config.shards == 0 ? 1 : config.shards)
+{
+    params_.validate();
+    const unsigned n = config.workers == 0 ? 1 : config.workers;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.push_back(
+            std::make_unique<Worker>(params_, config.variant, sk));
+    epochWorkerBase_.assign(n, 0);
+    // Start the threads only after the vector is fully built: a
+    // worker indexes workers_[id] on its first instruction.
+    try {
+        for (unsigned i = 0; i < n; ++i)
+            workers_[i]->thread =
+                std::thread([this, i] { workerLoop(i); });
+    } catch (...) {
+        // A failed launch (thread limit) must not leave joinable
+        // threads behind: destroying one calls std::terminate.
+        queue_.close();
+        for (auto &w : workers_) {
+            if (w->thread.joinable())
+                w->thread.join();
+        }
+        throw;
+    }
+}
+
+BatchSigner::~BatchSigner()
+{
+    queue_.close();
+    for (auto &w : workers_) {
+        if (w->thread.joinable())
+            w->thread.join();
+    }
+}
+
+std::future<ByteVec>
+BatchSigner::enqueue(ByteVec msg, ByteVec opt_rand, SignCallback cb)
+{
+    if (!opt_rand.empty() && opt_rand.size() != params_.n)
+        throw std::invalid_argument(
+            "BatchSigner: opt_rand must be n bytes");
+
+    SignRequest req;
+    req.message = std::move(msg);
+    req.optRand = std::move(opt_rand);
+    req.callback = std::move(cb);
+    auto fut = req.promise.get_future();
+
+    {
+        std::lock_guard<std::mutex> lk(drainM_);
+        if (!epochOpen_) {
+            epochOpen_ = true;
+            epochStart_ = std::chrono::steady_clock::now();
+        }
+        req.seq = submitted_.fetch_add(1, std::memory_order_relaxed);
+    }
+    try {
+        queue_.push(std::move(req));
+    } catch (...) {
+        // The seq was claimed but never enqueued; account it as a
+        // failed completion so drain() can still converge. (Seqs
+        // stay monotonic — this one is simply skipped.)
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lk(drainM_);
+            completed_.fetch_add(1, std::memory_order_release);
+            lastCompletion_ = std::chrono::steady_clock::now();
+        }
+        drainCv_.notify_all();
+        throw;
+    }
+    return fut;
+}
+
+std::future<ByteVec>
+BatchSigner::submit(ByteVec msg, ByteVec opt_rand)
+{
+    return enqueue(std::move(msg), std::move(opt_rand), {});
+}
+
+std::future<ByteVec>
+BatchSigner::submit(ByteVec msg, SignCallback cb, ByteVec opt_rand)
+{
+    return enqueue(std::move(msg), std::move(opt_rand), std::move(cb));
+}
+
+std::vector<std::future<ByteVec>>
+BatchSigner::submitMany(const std::vector<ByteVec> &msgs)
+{
+    std::vector<std::future<ByteVec>> futures;
+    futures.reserve(msgs.size());
+    for (const ByteVec &m : msgs)
+        futures.push_back(submit(m));
+    return futures;
+}
+
+void
+BatchSigner::workerLoop(unsigned id)
+{
+    Worker &w = *workers_[id];
+    const unsigned home = id % queue_.shards();
+    SignRequest req;
+    while (queue_.pop(req, home)) {
+        try {
+            ByteVec sig =
+                w.scheme.sign(req.message, w.sk, req.optRand);
+            if (req.callback) {
+                // A throwing callback must not poison the finished
+                // signature: isolate it from the signing try-block.
+                try {
+                    req.callback(req.seq, sig);
+                } catch (...) {
+                }
+            }
+            req.promise.set_value(std::move(sig));
+            w.signedCount.fetch_add(1, std::memory_order_relaxed);
+        } catch (...) {
+            failures_.fetch_add(1, std::memory_order_relaxed);
+            req.promise.set_exception(std::current_exception());
+        }
+        {
+            std::lock_guard<std::mutex> lk(drainM_);
+            completed_.fetch_add(1, std::memory_order_release);
+            lastCompletion_ = std::chrono::steady_clock::now();
+        }
+        drainCv_.notify_all();
+    }
+}
+
+BatchStats
+BatchSigner::drain()
+{
+    std::unique_lock<std::mutex> lk(drainM_);
+    drainCv_.wait(lk, [&] {
+        return completed_.load(std::memory_order_acquire) ==
+               submitted_.load(std::memory_order_acquire);
+    });
+
+    BatchStats st;
+    const uint64_t done = completed_.load(std::memory_order_acquire);
+    st.jobs = done - epochJobsBase_;
+    if (epochOpen_ && st.jobs > 0) {
+        // Wall clock runs from the first submit of the epoch to the
+        // last completion, not to this (possibly late) drain call.
+        st.wallUs = std::chrono::duration<double, std::micro>(
+                        lastCompletion_ - epochStart_)
+                        .count();
+    }
+    st.crossShardPops = queue_.steals() - epochStealsBase_;
+    st.failures =
+        failures_.load(std::memory_order_relaxed) - epochFailuresBase_;
+    const uint64_t ok = st.jobs - st.failures;
+    st.sigsPerSec = st.wallUs > 0 ? ok * 1e6 / st.wallUs : 0.0;
+    st.perWorkerSigned.resize(workers_.size());
+    for (size_t i = 0; i < workers_.size(); ++i) {
+        const uint64_t c =
+            workers_[i]->signedCount.load(std::memory_order_relaxed);
+        st.perWorkerSigned[i] = c - epochWorkerBase_[i];
+        epochWorkerBase_[i] = c;
+    }
+
+    // Open a fresh epoch for the next batch.
+    epochJobsBase_ = done;
+    epochStealsBase_ = queue_.steals();
+    epochFailuresBase_ = failures_.load(std::memory_order_relaxed);
+    epochOpen_ = false;
+    return st;
+}
+
+} // namespace herosign::batch

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * BatchSigner: a real multi-threaded SPHINCS+ batch signing service.
+ *
+ * Where SignEngine::signBatchTiming simulates a GPU batch timeline,
+ * BatchSigner executes one: N worker threads (modeling per-stream
+ * workers) pull jobs from a sharded MPMC queue (one shard per engine
+ * stream) and sign with private per-worker SphincsPlus contexts, so
+ * after dequeue the hot path touches no shared state. Signatures are
+ * byte-identical to the scalar sphincs::SphincsPlus path regardless
+ * of worker count or scheduling order.
+ */
+
+#ifndef HEROSIGN_BATCH_BATCH_SIGNER_HH
+#define HEROSIGN_BATCH_BATCH_SIGNER_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "batch/batch_stats.hh"
+#include "batch/mpmc_queue.hh"
+#include "batch/sign_request.hh"
+#include "hash/sha256.hh"
+#include "sphincs/sphincs.hh"
+
+namespace herosign::batch
+{
+
+/** Construction-time knobs for a BatchSigner. */
+struct BatchSignerConfig
+{
+    unsigned workers = 4;  ///< worker threads (clamped to >= 1)
+    unsigned shards = 4;   ///< queue shards; engine wires streams here
+    Sha256Variant variant = Sha256Variant::Native;
+};
+
+/**
+ * A pool of signing workers bound to one (params, secret key) pair.
+ *
+ * Thread-safe: submit()/submitMany() may be called concurrently from
+ * any number of producer threads. drain() blocks until every job
+ * submitted so far has completed and returns the batch statistics;
+ * the destructor drains implicitly before joining the workers.
+ */
+class BatchSigner
+{
+  public:
+    BatchSigner(const sphincs::Params &params,
+                const sphincs::SecretKey &sk,
+                const BatchSignerConfig &config = {});
+    ~BatchSigner();
+
+    BatchSigner(const BatchSigner &) = delete;
+    BatchSigner &operator=(const BatchSigner &) = delete;
+
+    /**
+     * Queue one message; the future yields its signature (or the
+     * exception signing raised).
+     * @param opt_rand n bytes of signing randomness; empty selects
+     *        the deterministic variant
+     */
+    std::future<ByteVec> submit(ByteVec msg, ByteVec opt_rand = {});
+
+    /**
+     * Queue one message with a completion callback. The callback runs
+     * on the worker thread right before the future is fulfilled; it
+     * is not invoked when signing throws.
+     */
+    std::future<ByteVec> submit(ByteVec msg, SignCallback cb,
+                                ByteVec opt_rand = {});
+
+    /** Queue a whole batch; futures are in message order. */
+    std::vector<std::future<ByteVec>>
+    submitMany(const std::vector<ByteVec> &msgs);
+
+    /**
+     * Block until everything submitted so far has completed, then
+     * return the statistics for the batch (all jobs since the last
+     * drain) and start a new batch epoch.
+     */
+    BatchStats drain();
+
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    unsigned shards() const { return queue_.shards(); }
+
+    const sphincs::Params &params() const { return params_; }
+
+    /** Jobs submitted and not yet completed (approximate). */
+    uint64_t pending() const
+    {
+        // Load completed first: a job can complete between the two
+        // loads, but none can complete before being submitted, so
+        // this order cannot underflow.
+        const uint64_t done = completed_.load();
+        const uint64_t sub = submitted_.load();
+        return sub - done;
+    }
+
+  private:
+    struct Worker
+    {
+        Worker(const sphincs::Params &p, Sha256Variant variant,
+               const sphincs::SecretKey &key)
+            : scheme(p, variant), sk(key)
+        {
+        }
+
+        std::thread thread;
+        sphincs::SphincsPlus scheme; ///< private context: no sharing
+        sphincs::SecretKey sk;       ///< private key copy: no sharing
+        std::atomic<uint64_t> signedCount{0};
+    };
+
+    void workerLoop(unsigned id);
+    std::future<ByteVec> enqueue(ByteVec msg, ByteVec opt_rand,
+                                 SignCallback cb);
+
+    sphincs::Params params_;
+    ShardedMpmcQueue<SignRequest> queue_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> failures_{0};
+
+    // Batch-epoch bookkeeping, guarded by drainM_.
+    std::mutex drainM_;
+    std::condition_variable drainCv_;
+    std::chrono::steady_clock::time_point epochStart_;
+    std::chrono::steady_clock::time_point lastCompletion_;
+    bool epochOpen_ = false;
+    uint64_t epochJobsBase_ = 0;
+    uint64_t epochStealsBase_ = 0;
+    uint64_t epochFailuresBase_ = 0;
+    std::vector<uint64_t> epochWorkerBase_;
+};
+
+} // namespace herosign::batch
+
+#endif // HEROSIGN_BATCH_BATCH_SIGNER_HH

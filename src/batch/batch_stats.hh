@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Per-batch statistics reported by BatchSigner::drain(): wall-clock
+ * throughput of the real threaded run plus queue behaviour counters.
+ * One "batch" is everything submitted since the previous drain().
+ */
+
+#ifndef HEROSIGN_BATCH_BATCH_STATS_HH
+#define HEROSIGN_BATCH_BATCH_STATS_HH
+
+#include <cstdint>
+#include <vector>
+
+namespace herosign::batch
+{
+
+/** Statistics for one drained batch. */
+struct BatchStats
+{
+    uint64_t jobs = 0;         ///< jobs completed, incl. failures
+    double wallUs = 0;         ///< first submit -> last completion
+    double sigsPerSec = 0;     ///< successful signatures / wall clock
+    uint64_t crossShardPops = 0; ///< work-stealing dequeues
+    uint64_t failures = 0;     ///< jobs that completed exceptionally
+    /// Successful signatures per worker (failures excluded).
+    std::vector<uint64_t> perWorkerSigned;
+};
+
+} // namespace herosign::batch
+
+#endif // HEROSIGN_BATCH_BATCH_STATS_HH

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * The unit of work flowing through the batch signer's queue: one
+ * message to sign, its optional signing randomness, and the two
+ * completion channels (a promise for the future-based API and an
+ * optional callback run on the worker thread).
+ */
+
+#ifndef HEROSIGN_BATCH_SIGN_REQUEST_HH
+#define HEROSIGN_BATCH_SIGN_REQUEST_HH
+
+#include <cstdint>
+#include <functional>
+#include <future>
+
+#include "common/bytes.hh"
+
+namespace herosign::batch
+{
+
+/**
+ * Completion callback: invoked on the worker thread with the
+ * submission sequence number and the finished signature. Must be
+ * thread-safe; keep it cheap — it runs on the signing path. It
+ * should not throw: a thrown exception is caught and discarded (the
+ * signature still reaches the future untouched).
+ */
+using SignCallback =
+    std::function<void(uint64_t seq, const ByteVec &signature)>;
+
+/** One queued signing job. Move-only (it owns a promise). */
+struct SignRequest
+{
+    uint64_t seq = 0;       ///< submission order, 0-based
+    ByteVec message;
+    ByteVec optRand;        ///< empty selects deterministic signing
+    std::promise<ByteVec> promise;
+    SignCallback callback;  ///< optional, may be empty
+};
+
+} // namespace herosign::batch
+
+#endif // HEROSIGN_BATCH_SIGN_REQUEST_HH

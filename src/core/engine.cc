@@ -4,6 +4,7 @@
 #include <cstring>
 #include <stdexcept>
 
+#include "batch/batch_signer.hh"
 #include "sphincs/fors.hh"
 #include "sphincs/thash.hh"
 
@@ -386,6 +387,33 @@ SignEngine::kernelTimingAt(KernelKind kind, unsigned messages) const
                                     messages);
     timing.durationUs *= 1.0 + spillPenaltyPerReg * k.spilledRegs;
     return timing;
+}
+
+BatchExecOutcome
+SignEngine::signBatch(const std::vector<ByteVec> &messages,
+                      const SecretKey &sk,
+                      unsigned worker_override) const
+{
+    batch::BatchSignerConfig bc;
+    bc.workers = std::max(
+        1u, worker_override ? worker_override : config_.batchWorkers);
+    bc.shards = std::max(1u, config_.streams);
+
+    BatchExecOutcome out;
+    out.workers = bc.workers;
+
+    batch::BatchSigner signer(params_, sk, bc);
+    auto futures = signer.submitMany(messages);
+    out.signatures.reserve(futures.size());
+    for (auto &f : futures)
+        out.signatures.push_back(f.get());
+    out.stats = signer.drain();
+    out.measuredMakespanUs = out.stats.wallUs;
+    if (!messages.empty())
+        out.predictedMakespanUs =
+            signBatchTiming(static_cast<unsigned>(messages.size()))
+                .makespanUs;
+    return out;
 }
 
 BatchOutcome

@@ -18,6 +18,7 @@
 #include <memory>
 #include <string>
 
+#include "batch/batch_stats.hh"
 #include "core/config.hh"
 #include "core/kernels.hh"
 #include "core/tuning.hh"
@@ -56,6 +57,20 @@ struct SignOutcome
 {
     ByteVec signature;
     std::array<KernelChoice, 3> kernels; ///< FORS, TREE, WOTS order
+};
+
+/**
+ * Result of executing a batch for real on the worker pool, with the
+ * simulator's prediction for the same batch alongside so callers can
+ * report measured vs predicted makespan.
+ */
+struct BatchExecOutcome
+{
+    std::vector<ByteVec> signatures; ///< in submission order
+    batch::BatchStats stats;         ///< wall-clock run statistics
+    double measuredMakespanUs = 0;   ///< == stats.wallUs
+    double predictedMakespanUs = 0;  ///< signBatchTiming's makespan
+    unsigned workers = 0;            ///< worker threads used
 };
 
 /** Result of a batch timing simulation. */
@@ -106,6 +121,19 @@ class SignEngine
      */
     SignOutcome sign(ByteSpan msg, const sphincs::SecretKey &sk,
                      ByteSpan opt_rand = {}) const;
+
+    /**
+     * Sign @p messages for real on a batch::BatchSigner worker pool
+     * (workers from the config's batchWorkers, queue shards from its
+     * streams). Signatures are byte-identical to sign() / the scalar
+     * SphincsPlus path and are returned in submission order, along
+     * with measured wall-clock stats and the simulator's predicted
+     * makespan for the same batch size.
+     * @param worker_override worker thread count (0 = config)
+     */
+    BatchExecOutcome signBatch(const std::vector<ByteVec> &messages,
+                               const sphincs::SecretKey &sk,
+                               unsigned worker_override = 0) const;
 
     /**
      * Simulate a batch of @p messages through the configured

@@ -1,0 +1,254 @@
+/**
+ * @file
+ * BatchSigner correctness: batch output must byte-match sequential
+ * scalar SphincsPlus signing for the same seeds — for every Table I
+ * parameter set, for any worker count, with callbacks and opt_rand —
+ * plus drain-on-empty / zero-message edge cases and the SignEngine
+ * signBatch wiring (measured vs predicted makespan).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "batch/batch_signer.hh"
+#include "batch_test_util.hh"
+#include "common/hex.hh"
+#include "core/engine.hh"
+
+using namespace herosign;
+using namespace herosign::batch;
+using batchtest::fixedSeed;
+using batchtest::miniParams;
+using batchtest::patternBatch;
+using batchtest::patternMsg;
+using sphincs::Params;
+using sphincs::SphincsPlus;
+
+TEST(BatchSigner, ByteMatchesScalarForEveryTableISet)
+{
+    for (const Params *pp :
+         {&Params::sphincs128f(), &Params::sphincs192f(),
+          &Params::sphincs256f()}) {
+        SphincsPlus scheme(*pp);
+        auto kp = scheme.keygenFromSeed(fixedSeed(*pp));
+
+        BatchSignerConfig cfg;
+        cfg.workers = 3;
+        cfg.shards = 2;
+        BatchSigner signer(*pp, kp.sk, cfg);
+
+        auto msgs = patternBatch(3);
+        auto futures = signer.submitMany(msgs);
+        ASSERT_EQ(futures.size(), msgs.size());
+        for (size_t i = 0; i < msgs.size(); ++i) {
+            ByteVec got = futures[i].get();
+            ByteVec ref = scheme.sign(msgs[i], kp.sk);
+            EXPECT_EQ(hexEncode(got), hexEncode(ref))
+                << pp->name << " msg " << i;
+            EXPECT_TRUE(scheme.verify(msgs[i], got, kp.pk));
+        }
+        auto st = signer.drain();
+        EXPECT_EQ(st.jobs, msgs.size());
+        EXPECT_GT(st.wallUs, 0.0);
+        EXPECT_GT(st.sigsPerSec, 0.0);
+        EXPECT_EQ(st.failures, 0u);
+    }
+}
+
+TEST(BatchSigner, WorkerCountInvariance1v8)
+{
+    const Params p = miniParams();
+    SphincsPlus scheme(p);
+    auto kp = scheme.keygenFromSeed(fixedSeed(p));
+    auto msgs = patternBatch(12, 24);
+
+    std::vector<std::string> sigs1, sigs8;
+    {
+        BatchSignerConfig cfg;
+        cfg.workers = 1;
+        cfg.shards = 1;
+        BatchSigner signer(p, kp.sk, cfg);
+        for (auto &f : signer.submitMany(msgs))
+            sigs1.push_back(hexEncode(f.get()));
+    }
+    {
+        BatchSignerConfig cfg;
+        cfg.workers = 8;
+        cfg.shards = 4;
+        BatchSigner signer(p, kp.sk, cfg);
+        for (auto &f : signer.submitMany(msgs))
+            sigs8.push_back(hexEncode(f.get()));
+    }
+    EXPECT_EQ(sigs1, sigs8);
+}
+
+TEST(BatchSigner, CallbacksRunForEveryJob)
+{
+    const Params p = miniParams();
+    SphincsPlus scheme(p);
+    auto kp = scheme.keygenFromSeed(fixedSeed(p));
+
+    BatchSignerConfig cfg;
+    cfg.workers = 4;
+    cfg.shards = 4;
+    BatchSigner signer(p, kp.sk, cfg);
+
+    constexpr unsigned count = 16;
+    std::mutex m;
+    std::vector<std::string> bySeq(count);
+    std::atomic<unsigned> calls{0};
+
+    std::vector<std::future<ByteVec>> futures;
+    for (unsigned i = 0; i < count; ++i) {
+        futures.push_back(signer.submit(
+            patternMsg(20, static_cast<uint8_t>(i)),
+            [&](uint64_t seq, const ByteVec &sig) {
+                std::lock_guard<std::mutex> lk(m);
+                bySeq.at(seq) = hexEncode(sig);
+                calls.fetch_add(1);
+            }));
+    }
+    auto st = signer.drain();
+    EXPECT_EQ(st.jobs, count);
+    EXPECT_EQ(calls.load(), count);
+    for (unsigned i = 0; i < count; ++i) {
+        // The callback saw exactly the bytes the future yields.
+        EXPECT_EQ(bySeq[i], hexEncode(futures[i].get())) << i;
+    }
+}
+
+TEST(BatchSigner, OptRandMatchesScalar)
+{
+    const Params &p = Params::sphincs128f();
+    SphincsPlus scheme(p);
+    auto kp = scheme.keygenFromSeed(fixedSeed(p));
+    BatchSigner signer(p, kp.sk);
+
+    ByteVec msg = patternMsg(32);
+    ByteVec opt(p.n, 0x5a);
+    auto fut = signer.submit(msg, opt);
+    EXPECT_EQ(hexEncode(fut.get()),
+              hexEncode(scheme.sign(msg, kp.sk, opt)));
+}
+
+TEST(BatchSigner, WrongLengthOptRandThrowsOnSubmit)
+{
+    const Params p = miniParams();
+    SphincsPlus scheme(p);
+    auto kp = scheme.keygenFromSeed(fixedSeed(p));
+    BatchSigner signer(p, kp.sk);
+    EXPECT_THROW(signer.submit(patternMsg(8), ByteVec(p.n + 1, 0)),
+                 std::invalid_argument);
+}
+
+TEST(BatchSigner, DrainOnEmptyReturnsZeroStats)
+{
+    const Params p = miniParams();
+    SphincsPlus scheme(p);
+    auto kp = scheme.keygenFromSeed(fixedSeed(p));
+    BatchSigner signer(p, kp.sk);
+
+    auto st = signer.drain();
+    EXPECT_EQ(st.jobs, 0u);
+    EXPECT_EQ(st.wallUs, 0.0);
+    EXPECT_EQ(st.sigsPerSec, 0.0);
+    EXPECT_EQ(st.failures, 0u);
+    ASSERT_EQ(st.perWorkerSigned.size(), signer.workers());
+    for (uint64_t c : st.perWorkerSigned)
+        EXPECT_EQ(c, 0u);
+}
+
+TEST(BatchSigner, ZeroMessageSubmitMany)
+{
+    const Params p = miniParams();
+    SphincsPlus scheme(p);
+    auto kp = scheme.keygenFromSeed(fixedSeed(p));
+    BatchSigner signer(p, kp.sk);
+
+    auto futures = signer.submitMany({});
+    EXPECT_TRUE(futures.empty());
+    EXPECT_EQ(signer.drain().jobs, 0u);
+}
+
+TEST(BatchSigner, DrainSeparatesEpochs)
+{
+    const Params p = miniParams();
+    SphincsPlus scheme(p);
+    auto kp = scheme.keygenFromSeed(fixedSeed(p));
+    BatchSigner signer(p, kp.sk);
+
+    auto f1 = signer.submitMany(patternBatch(5, 16));
+    auto st1 = signer.drain();
+    EXPECT_EQ(st1.jobs, 5u);
+    EXPECT_EQ(std::accumulate(st1.perWorkerSigned.begin(),
+                              st1.perWorkerSigned.end(), uint64_t{0}),
+              5u);
+
+    // A second drain with nothing new in between reports nothing.
+    auto st2 = signer.drain();
+    EXPECT_EQ(st2.jobs, 0u);
+
+    auto f3 = signer.submitMany(patternBatch(3, 16));
+    auto st3 = signer.drain();
+    EXPECT_EQ(st3.jobs, 3u);
+}
+
+TEST(BatchSigner, DestructorCompletesPendingFutures)
+{
+    const Params p = miniParams();
+    SphincsPlus scheme(p);
+    auto kp = scheme.keygenFromSeed(fixedSeed(p));
+
+    std::vector<std::future<ByteVec>> futures;
+    {
+        BatchSignerConfig cfg;
+        cfg.workers = 2;
+        cfg.shards = 2;
+        BatchSigner signer(p, kp.sk, cfg);
+        futures = signer.submitMany(patternBatch(6, 16));
+        // No drain: the destructor must finish the queue.
+    }
+    for (size_t i = 0; i < futures.size(); ++i) {
+        ByteVec sig = futures[i].get();
+        EXPECT_EQ(sig.size(), p.sigBytes()) << i;
+    }
+}
+
+TEST(EngineSignBatch, MatchesScalarAndReportsBothMakespans)
+{
+    const Params &p = Params::sphincs128f();
+    SphincsPlus scheme(p);
+    auto kp = scheme.keygenFromSeed(fixedSeed(p));
+    core::SignEngine engine(p, gpu::DeviceProps::rtx4090(),
+                            core::EngineConfig::hero());
+
+    auto msgs = patternBatch(4);
+    auto out = engine.signBatch(msgs, kp.sk, 2);
+    ASSERT_EQ(out.signatures.size(), msgs.size());
+    for (size_t i = 0; i < msgs.size(); ++i) {
+        EXPECT_EQ(hexEncode(out.signatures[i]),
+                  hexEncode(scheme.sign(msgs[i], kp.sk)))
+            << i;
+    }
+    EXPECT_EQ(out.workers, 2u);
+    EXPECT_EQ(out.stats.jobs, msgs.size());
+    EXPECT_GT(out.measuredMakespanUs, 0.0);
+    EXPECT_GT(out.predictedMakespanUs, 0.0);
+    EXPECT_EQ(out.measuredMakespanUs, out.stats.wallUs);
+}
+
+TEST(EngineSignBatch, EmptyBatch)
+{
+    const Params p = miniParams();
+    SphincsPlus scheme(p);
+    auto kp = scheme.keygenFromSeed(fixedSeed(p));
+    core::SignEngine engine(p, gpu::DeviceProps::rtx4090(),
+                            core::EngineConfig::hero());
+
+    auto out = engine.signBatch({}, kp.sk);
+    EXPECT_TRUE(out.signatures.empty());
+    EXPECT_EQ(out.stats.jobs, 0u);
+    EXPECT_EQ(out.predictedMakespanUs, 0.0);
+}

@@ -45,7 +45,10 @@ TEST_P(SchedulerRandomDag, InvariantsHold)
 
     for (int i = 0; i < n; ++i) {
         KernelExecDesc k;
-        k.name = "k" + std::to_string(i);
+        // Append rather than operator+: sidesteps GCC 12's spurious
+        // -Wrestrict on inlined string concatenation (PR105651).
+        k.name = "k";
+        k.name += std::to_string(i);
         k.durationAloneUs = 1.0 + static_cast<double>(rng.below(200));
         k.utilization = 0.05 + 0.95 * (rng.below(100) / 100.0);
         total_work += k.durationAloneUs * k.utilization;
