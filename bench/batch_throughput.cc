@@ -20,6 +20,7 @@
 #include "batch/batch_signer.hh"
 #include "bench_util.hh"
 #include "common/random.hh"
+#include "hash/sha256xN.hh"
 #include "sphincs/sphincs.hh"
 
 using namespace herosign;
@@ -104,11 +105,31 @@ main(int argc, char **argv)
         const double predicted_ms =
             engine.signBatchTiming(msgs_per_set).makespanUs / 1000.0;
 
-        const double scalar_us = scalarWallUs(scheme, kp.sk, msgs);
-        const double scalar_rate = msgs.size() * 1e6 / scalar_us;
-        table.addRow({p.name, "scalar", std::to_string(msgs.size()),
-                      fmtF(scalar_us / 1000.0),
-                      fmtF(scalar_rate, 1), fmtX(1.0), "0",
+        // Reference: one thread with the 8-lane engine forced onto
+        // the portable scalar backend (same batched code, scalar
+        // lanes — compression counts match the pre-batching path
+        // exactly). Everything below is "vs" this row, so the
+        // single-thread x8 row isolates the SIMD backend speedup and
+        // the worker rows show threading on top.
+        sha256x8ForceScalar(true);
+        const double ref_us = scalarWallUs(scheme, kp.sk, msgs);
+        sha256x8ForceScalar(false);
+        const double ref_rate = msgs.size() * 1e6 / ref_us;
+        table.addRow({p.name, "scalar lanes (x8 off)",
+                      std::to_string(msgs.size()),
+                      fmtF(ref_us / 1000.0), fmtF(ref_rate, 1),
+                      fmtX(1.0), "0", fmtF(predicted_ms)});
+
+        // Honest labeling: without an active AVX2 backend this row
+        // measures the same portable lanes as the reference.
+        const double x8_us = scalarWallUs(scheme, kp.sk, msgs);
+        const double x8_rate = msgs.size() * 1e6 / x8_us;
+        table.addRow({p.name,
+                      sha256x8Avx2Active() ? "single thread, x8"
+                                           : "single thread (no AVX2)",
+                      std::to_string(msgs.size()),
+                      fmtF(x8_us / 1000.0), fmtF(x8_rate, 1),
+                      fmtX(x8_rate / ref_rate), "0",
                       fmtF(predicted_ms)});
 
         for (unsigned workers : {1u, 2u, 4u, 8u}) {
@@ -126,7 +147,7 @@ main(int argc, char **argv)
                      (workers == 1 ? " worker" : " workers"),
                  std::to_string(st.jobs),
                  fmtF(st.wallUs / 1000.0), fmtF(st.sigsPerSec, 1),
-                 fmtX(st.sigsPerSec / scalar_rate),
+                 fmtX(st.sigsPerSec / ref_rate),
                  std::to_string(st.crossShardPops),
                  fmtF(predicted_ms)});
         }

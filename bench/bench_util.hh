@@ -9,6 +9,8 @@
 #ifndef HEROSIGN_BENCH_BENCH_UTIL_HH
 #define HEROSIGN_BENCH_BENCH_UTIL_HH
 
+#include <charconv>
+#include <cstring>
 #include <iostream>
 #include <map>
 #include <memory>
@@ -24,6 +26,7 @@ namespace herosign::bench
 struct Options
 {
     bool csv = false;
+    unsigned iters = 0; ///< --iters N; 0 = the bench's own default
 
     static Options
     parse(int argc, char **argv)
@@ -31,8 +34,29 @@ struct Options
         Options o;
         for (int i = 1; i < argc; ++i) {
             std::string a = argv[i];
-            if (a == "--csv")
+            if (a == "--csv") {
                 o.csv = true;
+            } else if (a == "--iters") {
+                // Consume the value only when it parses, so a
+                // following flag is not swallowed by a bad value.
+                const char *v = i + 1 < argc ? argv[i + 1] : nullptr;
+                bool ok = false;
+                if (v) {
+                    unsigned n = 0;
+                    const char *end = v + std::strlen(v);
+                    auto [p, ec] = std::from_chars(v, end, n);
+                    if (ec == std::errc() && p == end && n > 0) {
+                        o.iters = n;
+                        ok = true;
+                        ++i;
+                    }
+                }
+                if (!ok) {
+                    std::cerr << "--iters expects a positive integer, "
+                                 "got '"
+                              << (v ? v : "") << "'; ignoring\n";
+                }
+            }
         }
         return o;
     }

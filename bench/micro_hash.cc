@@ -10,6 +10,7 @@
 #include "hash/hmac.hh"
 #include "hash/mgf1.hh"
 #include "hash/sha256.hh"
+#include "hash/sha256xN.hh"
 #include "hash/sha512.hh"
 
 using namespace herosign;
@@ -65,6 +66,51 @@ BM_HmacSha256(benchmark::State &state)
     }
 }
 
+/**
+ * 8 messages through the 8-lane engine in one shot; compare against
+ * BM_Sha256x8ScalarLanes (same work, portable backend) and against
+ * 8x BM_Sha256Native for the x8-vs-scalar throughput column.
+ */
+void
+runSha256x8(benchmark::State &state, bool force_scalar)
+{
+    Rng rng(1);
+    const size_t len = static_cast<size_t>(state.range(0));
+    ByteVec data[Sha256x8::lanes];
+    const uint8_t *ptrs[Sha256x8::lanes];
+    for (size_t l = 0; l < Sha256x8::lanes; ++l) {
+        data[l] = rng.bytes(len);
+        ptrs[l] = data[l].data();
+    }
+    uint8_t digests[Sha256x8::lanes][Sha256x8::digestSize];
+    uint8_t *dptrs[Sha256x8::lanes];
+    for (size_t l = 0; l < Sha256x8::lanes; ++l)
+        dptrs[l] = digests[l];
+
+    sha256x8ForceScalar(force_scalar);
+    for (auto _ : state) {
+        Sha256x8 hasher;
+        hasher.update(ptrs, len);
+        hasher.final(dptrs);
+        benchmark::DoNotOptimize(digests);
+    }
+    sha256x8ForceScalar(false);
+    state.SetBytesProcessed(state.iterations() * len * Sha256x8::lanes);
+    state.SetItemsProcessed(state.iterations() * Sha256x8::lanes);
+}
+
+void
+BM_Sha256x8(benchmark::State &state)
+{
+    runSha256x8(state, false);
+}
+
+void
+BM_Sha256x8ScalarLanes(benchmark::State &state)
+{
+    runSha256x8(state, true);
+}
+
 void
 BM_Mgf1(benchmark::State &state)
 {
@@ -81,6 +127,8 @@ BM_Mgf1(benchmark::State &state)
 
 BENCHMARK(BM_Sha256Native)->Arg(64)->Arg(576)->Arg(4096);
 BENCHMARK(BM_Sha256Ptx)->Arg(64)->Arg(576)->Arg(4096);
+BENCHMARK(BM_Sha256x8)->Arg(64)->Arg(576)->Arg(4096);
+BENCHMARK(BM_Sha256x8ScalarLanes)->Arg(64)->Arg(576)->Arg(4096);
 BENCHMARK(BM_Sha512)->Arg(128)->Arg(4096);
 BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(1024);
 BENCHMARK(BM_Mgf1)->Arg(34)->Arg(49);

@@ -10,6 +10,10 @@
 #   BUILD_TYPE=Debug ./ci.sh             # CI matrix entry
 #   CXX=clang++ ./ci.sh                  # compiler matrix entry
 #   WERROR=OFF ./ci.sh                   # drop -Werror (default ON)
+#   HEROSIGN_AVX2=OFF ./ci.sh            # portable-only build (no AVX2
+#                                        # backend compiled), own dir
+#   HEROSIGN_DISABLE_AVX2=1 ./ci.sh      # runtime fallback: AVX2 built
+#                                        # but dispatch forced scalar
 #   ./ci.sh --format-check               # clang-format gate only
 set -euo pipefail
 
@@ -40,11 +44,14 @@ JOBS=${JOBS:-$(nproc 2>/dev/null || echo 4)}
 BUILD_TYPE=${BUILD_TYPE:-Release}
 WERROR=${WERROR:-ON}
 SANITIZE=${SANITIZE:-}
+HEROSIGN_AVX2=${HEROSIGN_AVX2:-ON}
 
-# Sanitized builds get their own tree so the instrumented cache never
-# clobbers (or masquerades as) the plain tier-1 build.
+# Sanitized and portable-only builds get their own trees so neither
+# cache clobbers (or masquerades as) the plain tier-1 build.
 if [[ -n "$SANITIZE" ]]; then
     BUILD_DIR=${BUILD_DIR:-build-sanitize}
+elif [[ "$HEROSIGN_AVX2" != "ON" ]]; then
+    BUILD_DIR=${BUILD_DIR:-build-noavx2}
 else
     BUILD_DIR=${BUILD_DIR:-build}
 fi
@@ -52,6 +59,7 @@ fi
 CMAKE_ARGS=(
     -DCMAKE_BUILD_TYPE="$BUILD_TYPE"
     -DHEROSIGN_WERROR="$WERROR"
+    -DHEROSIGN_ENABLE_AVX2="$HEROSIGN_AVX2"
 )
 if [[ -n "$SANITIZE" ]]; then
     CMAKE_ARGS+=(-DHEROSIGN_SANITIZE="$SANITIZE")

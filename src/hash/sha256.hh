@@ -15,6 +15,12 @@
  * Mid-state capture (state after compressing whole blocks) enables the
  * SPHINCS+ optimization of precomputing the state of the 64-byte
  * pk_seed padding block once per keypair.
+ *
+ * For hot loops hashing many independent inputs of one shape, see the
+ * lane-batched sibling in hash/sha256xN.hh: an 8-lane engine (AVX2
+ * with a bit-identical portable fallback) that resumes all lanes from
+ * the same Sha256State and keeps compressionCount() consistent with
+ * eight scalar calls.
  */
 
 #ifndef HEROSIGN_HASH_SHA256_HH
@@ -75,6 +81,13 @@ class Sha256
      */
     static uint64_t compressionCount();
     static void resetCompressionCount();
+
+    /**
+     * Charge @p count compressions to the global counter. Used by the
+     * multi-lane engine (hash/sha256xN.hh) so one 8-wide compression
+     * accounts like eight scalar ones.
+     */
+    static void addCompressions(uint64_t count);
 
   private:
     void compress(const uint8_t *block);

@@ -1,0 +1,249 @@
+/**
+ * @file
+ * AVX2 backend of the 8-lane SHA-256 engine. This translation unit is
+ * the only one compiled with -mavx2 (see src/hash/CMakeLists.txt), so
+ * the rest of the library keeps the baseline ISA and the portable
+ * fallback stays usable on any x86-64.
+ *
+ * Layout: fully transposed. Each SHA-256 state word a..h is one
+ * __m256i whose 32-bit element l belongs to lane l; the 64-entry
+ * message schedule is likewise one __m256i per round, so schedule
+ * expansion and the round function run once for all eight lanes.
+ * Blocks and states move between per-lane and transposed layout with
+ * an 8x8 32-bit unpack/permute transpose; a byte shuffle performs the
+ * big-endian conversion.
+ *
+ * Two entry points:
+ *  * sha256Compress8Avx2 — generic transposed compression for the
+ *    incremental Sha256x8 engine.
+ *  * sha256Final8SeededAvx2 — the fused SPHINCS+ fast path: all lanes
+ *    resume from ONE shared mid-state (a broadcast, no state
+ *    transpose) and absorb exactly one pre-padded block, which is the
+ *    shape of every batched F/PRF call.
+ */
+
+#ifdef HEROSIGN_HAVE_AVX2
+
+#include <immintrin.h>
+
+#include "hash/sha256_tables.hh"
+#include "hash/sha256xN.hh"
+
+namespace herosign
+{
+
+namespace
+{
+
+using sha256tables::K;
+
+inline __m256i
+rotr(__m256i x, int n)
+{
+    return _mm256_or_si256(_mm256_srli_epi32(x, n),
+                           _mm256_slli_epi32(x, 32 - n));
+}
+
+inline __m256i
+sigma0(__m256i x)
+{
+    return _mm256_xor_si256(_mm256_xor_si256(rotr(x, 7), rotr(x, 18)),
+                            _mm256_srli_epi32(x, 3));
+}
+
+inline __m256i
+sigma1(__m256i x)
+{
+    return _mm256_xor_si256(_mm256_xor_si256(rotr(x, 17), rotr(x, 19)),
+                            _mm256_srli_epi32(x, 10));
+}
+
+inline __m256i
+bigSigma0(__m256i x)
+{
+    return _mm256_xor_si256(_mm256_xor_si256(rotr(x, 2), rotr(x, 13)),
+                            rotr(x, 22));
+}
+
+inline __m256i
+bigSigma1(__m256i x)
+{
+    return _mm256_xor_si256(_mm256_xor_si256(rotr(x, 6), rotr(x, 11)),
+                            rotr(x, 25));
+}
+
+inline __m256i
+ch(__m256i e, __m256i f, __m256i g)
+{
+    // (e & f) ^ (~e & g)
+    return _mm256_xor_si256(_mm256_and_si256(e, f),
+                            _mm256_andnot_si256(e, g));
+}
+
+inline __m256i
+maj(__m256i a, __m256i b, __m256i c)
+{
+    return _mm256_xor_si256(
+        _mm256_xor_si256(_mm256_and_si256(a, b), _mm256_and_si256(a, c)),
+        _mm256_and_si256(b, c));
+}
+
+/** Byte-swap each 32-bit element. */
+inline __m256i
+bswap32(__m256i x)
+{
+    const __m256i mask = _mm256_set_epi8(
+        12, 13, 14, 15, 8, 9, 10, 11, 4, 5, 6, 7, 0, 1, 2, 3, 12, 13,
+        14, 15, 8, 9, 10, 11, 4, 5, 6, 7, 0, 1, 2, 3);
+    return _mm256_shuffle_epi8(x, mask);
+}
+
+/**
+ * In-place 8x8 32-bit transpose: r[i] element j  <->  r[j] element i.
+ * Converts between "register per lane" and "register per word"
+ * layouts (the network is its own inverse).
+ */
+inline void
+transpose8x8(__m256i r[8])
+{
+    __m256i t0 = _mm256_unpacklo_epi32(r[0], r[1]);
+    __m256i t1 = _mm256_unpackhi_epi32(r[0], r[1]);
+    __m256i t2 = _mm256_unpacklo_epi32(r[2], r[3]);
+    __m256i t3 = _mm256_unpackhi_epi32(r[2], r[3]);
+    __m256i t4 = _mm256_unpacklo_epi32(r[4], r[5]);
+    __m256i t5 = _mm256_unpackhi_epi32(r[4], r[5]);
+    __m256i t6 = _mm256_unpacklo_epi32(r[6], r[7]);
+    __m256i t7 = _mm256_unpackhi_epi32(r[6], r[7]);
+
+    __m256i u0 = _mm256_unpacklo_epi64(t0, t2);
+    __m256i u1 = _mm256_unpackhi_epi64(t0, t2);
+    __m256i u2 = _mm256_unpacklo_epi64(t1, t3);
+    __m256i u3 = _mm256_unpackhi_epi64(t1, t3);
+    __m256i u4 = _mm256_unpacklo_epi64(t4, t6);
+    __m256i u5 = _mm256_unpackhi_epi64(t4, t6);
+    __m256i u6 = _mm256_unpacklo_epi64(t5, t7);
+    __m256i u7 = _mm256_unpackhi_epi64(t5, t7);
+
+    r[0] = _mm256_permute2x128_si256(u0, u4, 0x20);
+    r[1] = _mm256_permute2x128_si256(u1, u5, 0x20);
+    r[2] = _mm256_permute2x128_si256(u2, u6, 0x20);
+    r[3] = _mm256_permute2x128_si256(u3, u7, 0x20);
+    r[4] = _mm256_permute2x128_si256(u0, u4, 0x31);
+    r[5] = _mm256_permute2x128_si256(u1, u5, 0x31);
+    r[6] = _mm256_permute2x128_si256(u2, u6, 0x31);
+    r[7] = _mm256_permute2x128_si256(u3, u7, 0x31);
+}
+
+/**
+ * Load 8 consecutive 32-bit words from each lane's block at byte
+ * offset @p off, byteswap to big-endian order and transpose so w[i]
+ * holds word i of all lanes.
+ */
+inline void
+loadTransposed8(__m256i w[8], const uint8_t *const blocks[8], size_t off)
+{
+    for (int l = 0; l < 8; ++l) {
+        w[l] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(blocks[l] + off));
+        w[l] = bswap32(w[l]);
+    }
+    transpose8x8(w);
+}
+
+/** Expand the schedule and run the 64 rounds; s is updated in place. */
+inline void
+rounds8(__m256i s[8], __m256i w[64])
+{
+    for (int i = 16; i < 64; ++i) {
+        w[i] = _mm256_add_epi32(
+            _mm256_add_epi32(w[i - 16], sigma0(w[i - 15])),
+            _mm256_add_epi32(w[i - 7], sigma1(w[i - 2])));
+    }
+
+    __m256i a = s[0], b = s[1], c = s[2], d = s[3];
+    __m256i e = s[4], f = s[5], g = s[6], h = s[7];
+
+    for (int i = 0; i < 64; ++i) {
+        __m256i t1 = _mm256_add_epi32(
+            _mm256_add_epi32(
+                _mm256_add_epi32(h, bigSigma1(e)),
+                _mm256_add_epi32(
+                    ch(e, f, g),
+                    _mm256_set1_epi32(static_cast<int>(K[i])))),
+            w[i]);
+        __m256i t2 = _mm256_add_epi32(bigSigma0(a), maj(a, b, c));
+        h = g;
+        g = f;
+        f = e;
+        e = _mm256_add_epi32(d, t1);
+        d = c;
+        c = b;
+        b = a;
+        a = _mm256_add_epi32(t1, t2);
+    }
+
+    s[0] = _mm256_add_epi32(s[0], a);
+    s[1] = _mm256_add_epi32(s[1], b);
+    s[2] = _mm256_add_epi32(s[2], c);
+    s[3] = _mm256_add_epi32(s[3], d);
+    s[4] = _mm256_add_epi32(s[4], e);
+    s[5] = _mm256_add_epi32(s[5], f);
+    s[6] = _mm256_add_epi32(s[6], g);
+    s[7] = _mm256_add_epi32(s[7], h);
+}
+
+} // namespace
+
+void
+sha256Compress8Avx2(std::array<uint32_t, 8> state[8],
+                    const uint8_t *const blocks[8])
+{
+    __m256i w[64];
+    loadTransposed8(w, blocks, 0);
+    loadTransposed8(w + 8, blocks, 32);
+
+    // Per-lane states -> one register per state word.
+    __m256i s[8];
+    for (int l = 0; l < 8; ++l) {
+        s[l] = _mm256_loadu_si256(
+            reinterpret_cast<const __m256i *>(state[l].data()));
+    }
+    transpose8x8(s);
+
+    rounds8(s, w);
+
+    transpose8x8(s);
+    for (int l = 0; l < 8; ++l) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(state[l].data()),
+                            s[l]);
+    }
+}
+
+void
+sha256Final8SeededAvx2(const std::array<uint32_t, 8> &mid,
+                       const uint8_t *const blocks[8],
+                       uint8_t *const digests[8])
+{
+    __m256i w[64];
+    loadTransposed8(w, blocks, 0);
+    loadTransposed8(w + 8, blocks, 32);
+
+    // All lanes resume from the same chaining state: a broadcast per
+    // word, no transpose.
+    __m256i s[8];
+    for (int i = 0; i < 8; ++i)
+        s[i] = _mm256_set1_epi32(static_cast<int>(mid[i]));
+
+    rounds8(s, w);
+
+    // word-per-register -> lane-per-register, then big-endian bytes.
+    transpose8x8(s);
+    for (int l = 0; l < 8; ++l) {
+        _mm256_storeu_si256(reinterpret_cast<__m256i *>(digests[l]),
+                            bswap32(s[l]));
+    }
+}
+
+} // namespace herosign
+
+#endif // HEROSIGN_HAVE_AVX2

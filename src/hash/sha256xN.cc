@@ -1,0 +1,197 @@
+#include "hash/sha256xN.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <stdexcept>
+
+#include "hash/sha256_tables.hh"
+
+namespace herosign
+{
+
+namespace
+{
+
+using sha256tables::initState;
+
+std::atomic<bool> force_scalar{false};
+
+bool
+cpuHasAvx2()
+{
+#if defined(HEROSIGN_HAVE_AVX2) && (defined(__GNUC__) || defined(__clang__))
+    return __builtin_cpu_supports("avx2") != 0;
+#else
+    return false;
+#endif
+}
+
+bool
+envDisablesAvx2()
+{
+    const char *v = std::getenv("HEROSIGN_DISABLE_AVX2");
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+}
+
+} // namespace
+
+bool
+sha256x8Avx2Compiled()
+{
+#ifdef HEROSIGN_HAVE_AVX2
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+sha256x8Avx2Supported()
+{
+    static const bool supported = cpuHasAvx2();
+    return sha256x8Avx2Compiled() && supported;
+}
+
+bool
+sha256x8Avx2Active()
+{
+    static const bool env_disabled = envDisablesAvx2();
+    return sha256x8Avx2Supported() && !env_disabled &&
+           !force_scalar.load(std::memory_order_relaxed);
+}
+
+void
+sha256x8ForceScalar(bool force)
+{
+    force_scalar.store(force, std::memory_order_relaxed);
+}
+
+Sha256x8::Sha256x8(Sha256Variant variant)
+    : bufLen_(0), total_(0), variant_(variant),
+      useAvx2_(variant == Sha256Variant::Native && sha256x8Avx2Active())
+{
+    for (size_t l = 0; l < lanes; ++l)
+        h_[l] = initState;
+}
+
+Sha256x8::Sha256x8(const Sha256State &state, Sha256Variant variant)
+    : bufLen_(0), total_(state.bytesCompressed), variant_(variant),
+      useAvx2_(variant == Sha256Variant::Native && sha256x8Avx2Active())
+{
+    if (state.bytesCompressed % blockSize != 0)
+        throw std::logic_error("Sha256x8: mid-state not block aligned");
+    for (size_t l = 0; l < lanes; ++l)
+        h_[l] = state.h;
+}
+
+void
+Sha256x8::compressAll(const uint8_t *const blocks[lanes])
+{
+    if (useAvx2_) {
+        sha256Compress8Avx2(h_, blocks);
+    } else if (variant_ == Sha256Variant::Native) {
+        for (size_t l = 0; l < lanes; ++l)
+            sha256CompressNative(h_[l], blocks[l]);
+    } else {
+        for (size_t l = 0; l < lanes; ++l)
+            sha256CompressPtx(h_[l], blocks[l]);
+    }
+    // One 8-wide step does the work of eight scalar compressions; keep
+    // the global accounting (tests, cost-model calibration) in sync.
+    Sha256::addCompressions(lanes);
+}
+
+void
+Sha256x8::compressBuffers()
+{
+    const uint8_t *blocks[lanes];
+    for (size_t l = 0; l < lanes; ++l)
+        blocks[l] = buf_[l];
+    compressAll(blocks);
+}
+
+void
+Sha256x8::update(const uint8_t *const data[lanes], size_t len)
+{
+    if (len == 0)
+        return;
+    const uint8_t *p[lanes];
+    for (size_t l = 0; l < lanes; ++l)
+        p[l] = data[l];
+
+    size_t off = 0;
+    total_ += len;
+    if (bufLen_ > 0) {
+        const size_t take = std::min(blockSize - bufLen_, len);
+        for (size_t l = 0; l < lanes; ++l)
+            std::memcpy(buf_[l] + bufLen_, p[l], take);
+        bufLen_ += take;
+        off += take;
+        if (bufLen_ == blockSize) {
+            compressBuffers();
+            bufLen_ = 0;
+        }
+    }
+    while (off + blockSize <= len) {
+        const uint8_t *blocks[lanes];
+        for (size_t l = 0; l < lanes; ++l)
+            blocks[l] = p[l] + off;
+        compressAll(blocks);
+        off += blockSize;
+    }
+    if (off < len) {
+        for (size_t l = 0; l < lanes; ++l)
+            std::memcpy(buf_[l], p[l] + off, len - off);
+        bufLen_ = len - off;
+    }
+}
+
+void
+Sha256x8::final(uint8_t *const out[lanes])
+{
+    const uint64_t bit_len = total_ * 8;
+
+    // Padding is identical across lanes since lengths are uniform:
+    // 0x80, zeros to 56 mod 64, then the 64-bit bit length.
+    size_t r = bufLen_;
+    for (size_t l = 0; l < lanes; ++l)
+        buf_[l][r] = 0x80;
+    ++r;
+    if (r > blockSize - 8) {
+        for (size_t l = 0; l < lanes; ++l)
+            std::memset(buf_[l] + r, 0, blockSize - r);
+        compressBuffers();
+        r = 0;
+    }
+    for (size_t l = 0; l < lanes; ++l) {
+        std::memset(buf_[l] + r, 0, blockSize - 8 - r);
+        storeBe64(buf_[l] + blockSize - 8, bit_len);
+    }
+    compressBuffers();
+    bufLen_ = 0;
+
+    for (size_t l = 0; l < lanes; ++l)
+        for (int i = 0; i < 8; ++i)
+            storeBe32(out[l] + 4 * i, h_[l][i]);
+}
+
+#ifndef HEROSIGN_HAVE_AVX2
+void
+sha256Compress8Avx2(std::array<uint32_t, 8>[8], const uint8_t *const[8])
+{
+    throw std::logic_error(
+        "sha256Compress8Avx2: AVX2 backend not compiled in");
+}
+
+void
+sha256Final8SeededAvx2(const std::array<uint32_t, 8> &,
+                       const uint8_t *const[8], uint8_t *const[8])
+{
+    throw std::logic_error(
+        "sha256Final8SeededAvx2: AVX2 backend not compiled in");
+}
+#endif
+
+} // namespace herosign

@@ -1,0 +1,128 @@
+/**
+ * @file
+ * 8-lane SHA-256: eight independent hashes advanced in lockstep.
+ *
+ * This is the CPU analogue of HERO-Sign's core batching idea — the
+ * SPHINCS+ hot loops (WOTS+ chains, FORS leaves, Merkle leaf layers)
+ * are thousands of independent fixed-shape hash calls, so they map
+ * onto parallel lanes. Two backends compute bit-identical digests:
+ *
+ *  * AVX2 — transposed state, one `__m256i` per SHA-256 state word
+ *    (lane l lives in 32-bit element l), with the message schedule
+ *    computed vectorized across all eight lanes. Compiled into its own
+ *    translation unit with -mavx2 (see src/hash/sha256x8_avx2.cc) and
+ *    selected at runtime via cpuid.
+ *  * Portable — a scalar loop over the eight lanes using the same
+ *    compression function as Sha256; always available.
+ *
+ * Selection order: the CMake gate HEROSIGN_ENABLE_AVX2 decides whether
+ * the AVX2 backend is compiled at all; at runtime cpuid must report
+ * AVX2; the HEROSIGN_DISABLE_AVX2 environment variable (any non-empty
+ * value but "0") and the programmatic sha256x8ForceScalar() hook both
+ * force the portable backend. The environment variable is read once,
+ * on the first dispatch query, and the snapshot is used for the rest
+ * of the process — set it before startup (as the CI fallback job
+ * does); to switch backends mid-process use sha256x8ForceScalar().
+ *
+ * All eight lanes always absorb the same number of bytes per call —
+ * exactly the shape of SPHINCS+ tweakable-hash batches, where every
+ * lane hashes adrs_c || input of a common length. Each 8-wide
+ * compression charges 8 to Sha256::compressionCount(), so hash
+ * accounting matches eight scalar calls exactly.
+ */
+
+#ifndef HEROSIGN_HASH_SHA256XN_HH
+#define HEROSIGN_HASH_SHA256XN_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hh"
+#include "hash/sha256.hh"
+
+namespace herosign
+{
+
+/** True if the AVX2 backend was compiled in (HEROSIGN_ENABLE_AVX2). */
+bool sha256x8Avx2Compiled();
+
+/** True if the backend is compiled in AND the CPU reports AVX2. */
+bool sha256x8Avx2Supported();
+
+/**
+ * True if the next Sha256x8 will run the AVX2 backend: supported, not
+ * disabled via HEROSIGN_DISABLE_AVX2, not forced off programmatically.
+ */
+bool sha256x8Avx2Active();
+
+/**
+ * Force the portable backend on (true) or return to automatic
+ * dispatch (false). Process-wide; used by benches and the
+ * forced-fallback tests. The HEROSIGN_DISABLE_AVX2 environment
+ * variable still wins when set.
+ */
+void sha256x8ForceScalar(bool force);
+
+/** Incremental 8-lane SHA-256 hasher (uniform lane lengths). */
+class Sha256x8
+{
+  public:
+    static constexpr size_t lanes = 8;
+    static constexpr size_t digestSize = Sha256::digestSize;
+    static constexpr size_t blockSize = Sha256::blockSize;
+
+    explicit Sha256x8(Sha256Variant variant = Sha256Variant::Native);
+
+    /**
+     * Resume all 8 lanes from one captured mid-state — the SPHINCS+
+     * per-keypair "pk_seed || padding" state shared by every
+     * tweakable-hash call under one key.
+     */
+    explicit Sha256x8(const Sha256State &state,
+                      Sha256Variant variant = Sha256Variant::Native);
+
+    /** Absorb @p len bytes into lane l from data[l], for all lanes. */
+    void update(const uint8_t *const data[lanes], size_t len);
+
+    /**
+     * Finalize lane l into out[l] (32 bytes each). The hasher must not
+     * be reused.
+     */
+    void final(uint8_t *const out[lanes]);
+
+  private:
+    void compressAll(const uint8_t *const blocks[lanes]);
+    void compressBuffers();
+
+    std::array<uint32_t, 8> h_[lanes];
+    uint8_t buf_[lanes][blockSize];
+    size_t bufLen_;
+    uint64_t total_;
+    Sha256Variant variant_;
+    bool useAvx2_;
+};
+
+/**
+ * AVX2 backend entry points (defined in sha256x8_avx2.cc when
+ * HEROSIGN_ENABLE_AVX2 is on; exposed for the unit tests and the
+ * batched tweakable-hash layer — normal users go through Sha256x8).
+ * Callers must check sha256x8Avx2Active() (or at least
+ * sha256x8Avx2Supported()) first; the stubs throw otherwise. Neither
+ * entry point touches Sha256::compressionCount() — callers account.
+ */
+void sha256Compress8Avx2(std::array<uint32_t, 8> state[8],
+                         const uint8_t *const blocks[8]);
+
+/**
+ * Fused SPHINCS+ fast path: resume all 8 lanes from the shared
+ * chaining state @p mid, compress exactly one pre-padded 64-byte
+ * block per lane, and emit the 32-byte digests. This is the shape of
+ * every batched F/PRF call (adrs_c || input fits one final block).
+ */
+void sha256Final8SeededAvx2(const std::array<uint32_t, 8> &mid,
+                            const uint8_t *const blocks[8],
+                            uint8_t *const digests[8]);
+
+} // namespace herosign
+
+#endif // HEROSIGN_HASH_SHA256XN_HH

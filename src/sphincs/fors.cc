@@ -1,7 +1,11 @@
 #include "sphincs/fors.hh"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "sphincs/merkle.hh"
 #include "sphincs/thash.hh"
+#include "sphincs/thashx.hh"
 
 namespace herosign::sphincs
 {
@@ -48,6 +52,42 @@ forsGenLeaf(uint8_t *out, const Context &ctx, const Address &fors_adrs,
 }
 
 void
+forsGenLeavesX8(uint8_t *out, const Context &ctx, const Address &fors_adrs,
+                uint32_t idx0, unsigned count)
+{
+    if (count == 0 || count > hashLanes)
+        throw std::invalid_argument(
+            "forsGenLeavesX8: count must be 1..8");
+    const unsigned n = ctx.params().n;
+    uint8_t sks[hashLanes * maxN];
+    Address adrs[hashLanes];
+    uint8_t *outs[hashLanes];
+    const uint8_t *ins[hashLanes];
+
+    // Secret leaf values, one PRF batch.
+    Address sk_base = fors_adrs;
+    sk_base.setType(AddrType::ForsPrf);
+    sk_base.setKeypair(fors_adrs.keypair());
+    for (unsigned j = 0; j < count; ++j) {
+        adrs[j] = sk_base;
+        adrs[j].setTreeHeight(0);
+        adrs[j].setTreeIndex(idx0 + j);
+        outs[j] = sks + static_cast<size_t>(j) * n;
+    }
+    prfAddrx8(outs, ctx, adrs, count);
+
+    // Leaves = F(sk), one batch.
+    for (unsigned j = 0; j < count; ++j) {
+        adrs[j] = fors_adrs;
+        adrs[j].setTreeHeight(0);
+        adrs[j].setTreeIndex(idx0 + j);
+        outs[j] = out + static_cast<size_t>(j) * n;
+        ins[j] = sks + static_cast<size_t>(j) * n;
+    }
+    thashFx8(outs, ctx, adrs, ins, count);
+}
+
+void
 forsSign(uint8_t *sig, uint8_t *pk_out, const uint8_t *mhash,
          const Context &ctx, const Address &fors_adrs)
 {
@@ -58,23 +98,46 @@ forsSign(uint8_t *sig, uint8_t *pk_out, const uint8_t *mhash,
     uint32_t indices[64];
     messageToIndices(indices, p, mhash);
 
+    // Selected secret values for all k trees, 8 per PRF batch. The
+    // tree-i value lands at the head of its signature block.
+    {
+        Address sk_base = fors_adrs;
+        sk_base.setType(AddrType::ForsPrf);
+        sk_base.setKeypair(fors_adrs.keypair());
+        const size_t sig_stride =
+            static_cast<size_t>(p.forsHeight + 1) * n;
+        Address adrs[hashLanes];
+        uint8_t *outs[hashLanes];
+        for (unsigned g = 0; g < p.forsTrees; g += hashLanes) {
+            const unsigned m =
+                std::min(hashLanes, p.forsTrees - g);
+            for (unsigned j = 0; j < m; ++j) {
+                adrs[j] = sk_base;
+                adrs[j].setTreeHeight(0);
+                adrs[j].setTreeIndex(indices[g + j] + (g + j) * t);
+                outs[j] = sig + (g + j) * sig_stride;
+            }
+            prfAddrx8(outs, ctx, adrs, m);
+        }
+    }
+
     uint8_t roots[64 * maxN];
     for (unsigned i = 0; i < p.forsTrees; ++i) {
         const uint32_t idx_offset = i * t;
+        sig += n; // selected secret value, written above
 
-        // Selected secret value.
-        forsSkGen(sig, ctx, fors_adrs, indices[i] + idx_offset);
-        sig += n;
-
-        // Merkle tree over this subset, rooted at roots[i].
+        // Merkle tree over this subset, rooted at roots[i]; leaves
+        // generated 8 per batch.
         Address tree_adrs = fors_adrs;
         tree_adrs.setType(AddrType::ForsTree);
         tree_adrs.setKeypair(fors_adrs.keypair());
-        auto gen_leaf = [&](uint8_t *out, uint32_t idx) {
-            forsGenLeaf(out, ctx, tree_adrs, idx + idx_offset);
+        auto gen_leaves = [&](uint8_t *out, uint32_t leaf_start,
+                              uint32_t count) {
+            forsGenLeavesX8(out, ctx, tree_adrs, leaf_start + idx_offset,
+                            count);
         };
         treehash(roots + i * n, sig, ctx, indices[i], idx_offset,
-                 p.forsHeight, gen_leaf, tree_adrs);
+                 p.forsHeight, gen_leaves, tree_adrs);
         sig += p.forsHeight * n;
     }
 

@@ -41,6 +41,17 @@ void forsGenLeaf(uint8_t *out, const Context &ctx,
                  const Address &fors_adrs, uint32_t idx);
 
 /**
+ * Compute @p count consecutive FORS leaves (absolute indices idx0 ..
+ * idx0 + count - 1, count <= 8) into @p out, running the PRF and F
+ * calls across 8-lane hash batches. Byte-identical to count
+ * forsGenLeaf calls.
+ * @param out count * n bytes
+ */
+void forsGenLeavesX8(uint8_t *out, const Context &ctx,
+                     const Address &fors_adrs, uint32_t idx0,
+                     unsigned count);
+
+/**
  * FORS signature: for each of the k trees, the selected secret value
  * followed by its authentication path.
  * @param sig out, forsSigBytes()

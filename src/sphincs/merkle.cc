@@ -1,8 +1,10 @@
 #include "sphincs/merkle.hh"
 
-#include <vector>
+#include <algorithm>
+#include <stdexcept>
 
 #include "sphincs/thash.hh"
+#include "sphincs/thashx.hh"
 #include "sphincs/wots.hh"
 
 namespace herosign::sphincs
@@ -11,45 +13,74 @@ namespace herosign::sphincs
 void
 treehash(uint8_t *root, uint8_t *auth_path, const Context &ctx,
          uint32_t leaf_idx, uint32_t idx_offset, unsigned height,
+         BatchLeafRef gen_leaves, Address &tree_adrs)
+{
+    const unsigned n = ctx.params().n;
+    constexpr unsigned max_height =
+        maxTreeHeight > maxForsHeight ? maxTreeHeight : maxForsHeight;
+    if (height > max_height)
+        throw std::invalid_argument("treehash: height exceeds bound");
+
+    // Node stack: at most height+1 entries, each n bytes, plus the
+    // height of each stacked node. Fixed-size so the hot path never
+    // touches the heap.
+    uint8_t stack[(max_height + 1) * maxN];
+    unsigned stack_heights[max_height + 1];
+    unsigned sp = 0;
+
+    uint8_t leaf_buf[hashLanes * maxN];
+    const uint32_t leaves = 1u << height;
+    for (uint32_t base = 0; base < leaves; base += hashLanes) {
+        const uint32_t batch =
+            std::min<uint32_t>(hashLanes, leaves - base);
+        gen_leaves(leaf_buf, base, batch);
+
+        for (uint32_t b = 0; b < batch; ++b) {
+            const uint32_t idx = base + b;
+            uint8_t node[maxN];
+            std::memcpy(node, leaf_buf + static_cast<size_t>(b) * n, n);
+
+            unsigned node_height = 0;
+            if (auth_path && (leaf_idx ^ 1u) == idx)
+                std::memcpy(auth_path, node, n);
+
+            while (sp > 0 && stack_heights[sp - 1] == node_height) {
+                // Combine the stacked left sibling with this node.
+                tree_adrs.setTreeHeight(node_height + 1);
+                tree_adrs.setTreeIndex((idx >> (node_height + 1)) +
+                                       (idx_offset >> (node_height + 1)));
+                const uint8_t *left =
+                    stack + static_cast<size_t>(sp - 1) * n;
+                thashH(node, ctx, tree_adrs, left, node);
+                --sp;
+                ++node_height;
+
+                if (auth_path && ((leaf_idx >> node_height) ^ 1u) ==
+                                     (idx >> node_height)) {
+                    std::memcpy(auth_path + node_height * n, node, n);
+                }
+            }
+            std::memcpy(stack + static_cast<size_t>(sp) * n, node, n);
+            stack_heights[sp] = node_height;
+            ++sp;
+        }
+    }
+    std::memcpy(root, stack, n);
+}
+
+void
+treehash(uint8_t *root, uint8_t *auth_path, const Context &ctx,
+         uint32_t leaf_idx, uint32_t idx_offset, unsigned height,
          const LeafFn &gen_leaf, Address &tree_adrs)
 {
     const unsigned n = ctx.params().n;
-    // Node stack: at most height+1 entries, each n bytes, plus the
-    // height of each stacked node.
-    std::vector<uint8_t> stack((height + 1) * n);
-    std::vector<unsigned> stack_heights;
-    stack_heights.reserve(height + 1);
-
-    const uint32_t leaves = 1u << height;
-    for (uint32_t idx = 0; idx < leaves; ++idx) {
-        uint8_t node[maxN];
-        gen_leaf(node, idx);
-
-        unsigned node_height = 0;
-        if (auth_path && (leaf_idx ^ 1u) == idx)
-            std::memcpy(auth_path, node, n);
-
-        while (!stack_heights.empty() &&
-               stack_heights.back() == node_height) {
-            // Combine the stacked left sibling with this node.
-            tree_adrs.setTreeHeight(node_height + 1);
-            tree_adrs.setTreeIndex((idx >> (node_height + 1)) +
-                                   (idx_offset >> (node_height + 1)));
-            const uint8_t *left =
-                stack.data() + (stack_heights.size() - 1) * n;
-            thashH(node, ctx, tree_adrs, left, node);
-            stack_heights.pop_back();
-            ++node_height;
-
-            if (auth_path &&
-                ((leaf_idx >> node_height) ^ 1u) == (idx >> node_height)) {
-                std::memcpy(auth_path + node_height * n, node, n);
-            }
-        }
-        std::memcpy(stack.data() + stack_heights.size() * n, node, n);
-        stack_heights.push_back(node_height);
-    }
-    std::memcpy(root, stack.data(), n);
+    auto gen_leaves = [&](uint8_t *out, uint32_t leaf_start,
+                          uint32_t count) {
+        for (uint32_t j = 0; j < count; ++j)
+            gen_leaf(out + static_cast<size_t>(j) * n, leaf_start + j);
+    };
+    treehash(root, auth_path, ctx, leaf_idx, idx_offset, height,
+             gen_leaves, tree_adrs);
 }
 
 void
@@ -77,12 +108,7 @@ void
 wotsGenLeaf(uint8_t *leaf_out, const Context &ctx, uint32_t layer,
             uint64_t tree, uint32_t leaf_idx)
 {
-    Address adrs;
-    adrs.setLayer(layer);
-    adrs.setTree(tree);
-    adrs.setType(AddrType::WotsHash);
-    adrs.setKeypair(leaf_idx);
-    wotsPkGen(leaf_out, ctx, adrs);
+    wotsPkGenX8(leaf_out, ctx, layer, tree, leaf_idx, 1);
 }
 
 void
@@ -104,11 +130,12 @@ merkleSign(uint8_t *sig, uint8_t *root_out, const Context &ctx,
     tree_adrs.setTree(tree);
     tree_adrs.setType(AddrType::Tree);
 
-    auto gen_leaf = [&](uint8_t *out, uint32_t idx) {
-        wotsGenLeaf(out, ctx, layer, tree, idx);
+    auto gen_leaves = [&](uint8_t *out, uint32_t leaf_start,
+                          uint32_t count) {
+        wotsPkGenX8(out, ctx, layer, tree, leaf_start, count);
     };
     treehash(root_out, sig + p.wotsSigBytes(), ctx, leaf_idx, 0,
-             p.treeHeight(), gen_leaf, tree_adrs);
+             p.treeHeight(), gen_leaves, tree_adrs);
 }
 
 } // namespace herosign::sphincs

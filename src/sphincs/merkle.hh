@@ -10,6 +10,7 @@
 #define HEROSIGN_SPHINCS_MERKLE_HH
 
 #include <functional>
+#include <type_traits>
 
 #include "common/bytes.hh"
 #include "sphincs/address.hh"
@@ -26,20 +27,62 @@ namespace herosign::sphincs
 using LeafFn = std::function<void(uint8_t *out, uint32_t leaf_idx)>;
 
 /**
+ * Non-owning reference to a batched leaf generator: a callable
+ * producing @p count consecutive leaves (local indices leaf_start ..
+ * leaf_start + count - 1, count <= 8) contiguously into @p out. Lets
+ * the generator run its hash calls across SIMD lanes (see
+ * sphincs/thashx.hh). A lightweight function_ref rather than
+ * std::function so the signing hot path never heap-allocates for the
+ * callback; the referenced callable must outlive the treehash call
+ * (passing a lambda as the argument is fine).
+ */
+class BatchLeafRef
+{
+  public:
+    template <typename F,
+              typename = std::enable_if_t<std::is_invocable_v<
+                  const F &, uint8_t *, uint32_t, uint32_t>>>
+    BatchLeafRef(const F &fn) // NOLINT: implicit by design
+        : obj_(&fn), call_([](const void *obj, uint8_t *out,
+                              uint32_t leaf_start, uint32_t count) {
+              (*static_cast<const F *>(obj))(out, leaf_start, count);
+          })
+    {
+    }
+
+    void
+    operator()(uint8_t *out, uint32_t leaf_start, uint32_t count) const
+    {
+        call_(obj_, out, leaf_start, count);
+    }
+
+  private:
+    const void *obj_;
+    void (*call_)(const void *, uint8_t *, uint32_t, uint32_t);
+};
+
+/**
  * Stack-based treehash: computes the root of a 2^height-leaf Merkle
- * tree and the authentication path for @p leaf_idx.
+ * tree and the authentication path for @p leaf_idx. The leaf layer is
+ * produced 8 leaves per callback so independent leaves fill hash
+ * lanes; the node combining above it is inherently serial.
  *
  * @param root out, n bytes
  * @param auth_path out, height * n bytes (may be nullptr to skip)
  * @param leaf_idx index of the authenticated leaf (local, 0-based)
  * @param idx_offset added to node indices in the hash addresses (used
  *        by FORS where tree i starts at leaf index i * t)
- * @param height tree height
- * @param gen_leaf leaf generator (receives local index; must apply
- *        idx_offset itself when addressing)
+ * @param height tree height (at most maxTreeHeight)
+ * @param gen_leaves batched leaf generator (receives local indices;
+ *        must apply idx_offset itself when addressing)
  * @param tree_adrs address with layer/tree/type set; height/index
  *        fields are managed here
  */
+void treehash(uint8_t *root, uint8_t *auth_path, const Context &ctx,
+              uint32_t leaf_idx, uint32_t idx_offset, unsigned height,
+              BatchLeafRef gen_leaves, Address &tree_adrs);
+
+/** Scalar-leaf convenience overload wrapping @p gen_leaf. */
 void treehash(uint8_t *root, uint8_t *auth_path, const Context &ctx,
               uint32_t leaf_idx, uint32_t idx_offset, unsigned height,
               const LeafFn &gen_leaf, Address &tree_adrs);

@@ -118,11 +118,12 @@ SphincsPlus::computePkRoot(ByteSpan sk_seed, ByteSpan pk_seed) const
     tree_adrs.setType(AddrType::Tree);
 
     ByteVec root(params_.n);
-    auto gen_leaf = [&](uint8_t *out, uint32_t idx) {
-        wotsGenLeaf(out, ctx, top_layer, 0, idx);
+    auto gen_leaves = [&](uint8_t *out, uint32_t leaf_start,
+                          uint32_t count) {
+        wotsPkGenX8(out, ctx, top_layer, 0, leaf_start, count);
     };
     treehash(root.data(), nullptr, ctx, 0, 0, params_.treeHeight(),
-             gen_leaf, tree_adrs);
+             gen_leaves, tree_adrs);
     return root;
 }
 

@@ -1,5 +1,7 @@
 #include "sphincs/thash.hh"
 
+#include <stdexcept>
+
 #include "hash/hmac.hh"
 #include "hash/mgf1.hh"
 
@@ -49,13 +51,21 @@ hashMessage(MutByteSpan digest, const Context &ctx, ByteSpan r,
     uint8_t seed1[Sha256::digestSize];
     inner.final(seed1);
 
-    // digest = MGF1(R || pk_seed || seed1, m)
-    ByteVec mgf_seed;
-    mgf_seed.reserve(r.size() + ctx.pkSeed().size() + sizeof(seed1));
-    append(mgf_seed, r);
-    append(mgf_seed, ctx.pkSeed());
-    append(mgf_seed, ByteSpan(seed1, sizeof(seed1)));
-    mgf1Sha256(digest, mgf_seed);
+    // digest = MGF1(R || pk_seed || seed1, m). R and pk_seed are n
+    // bytes each, so the seed fits a fixed stack buffer — this runs
+    // once per sign/verify and must not allocate. Enforce the bound
+    // the buffer relies on (Context already guarantees pk_seed == n).
+    if (r.size() > maxN || ctx.pkSeed().size() > maxN)
+        throw std::invalid_argument("hashMessage: seed exceeds maxN");
+    uint8_t mgf_seed[2 * maxN + sizeof(seed1)];
+    size_t len = 0;
+    std::memcpy(mgf_seed + len, r.data(), r.size());
+    len += r.size();
+    std::memcpy(mgf_seed + len, ctx.pkSeed().data(), ctx.pkSeed().size());
+    len += ctx.pkSeed().size();
+    std::memcpy(mgf_seed + len, seed1, sizeof(seed1));
+    len += sizeof(seed1);
+    mgf1Sha256(digest, ByteSpan(mgf_seed, len));
 }
 
 } // namespace herosign::sphincs

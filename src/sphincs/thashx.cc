@@ -1,0 +1,132 @@
+#include "sphincs/thashx.hh"
+
+#include <stdexcept>
+
+#include "hash/sha256xN.hh"
+
+namespace herosign::sphincs
+{
+
+namespace
+{
+
+/**
+ * Largest data length that still fits one padded SHA-256 block
+ * (64 - 1 pad byte - 8 length bytes).
+ */
+constexpr size_t oneBlockMax = Sha256::blockSize - 9;
+
+/**
+ * Fused single-block batch: every hot batched call (WOTS chain step,
+ * PRF, FORS leaf) hashes adrs_c || input of 22 + n <= 54 bytes on top
+ * of the per-keypair mid-state — exactly one padded compression per
+ * lane. Building the padded blocks directly and running one 8-wide
+ * compression skips the incremental engine entirely; the AVX2 kernel
+ * additionally broadcasts the shared mid-state instead of transposing
+ * eight copies of it.
+ */
+void
+thashX8OneBlock(uint8_t *const out[], const Context &ctx,
+                const Address adrs[], const uint8_t *const in[],
+                size_t in_len)
+{
+    const unsigned n = ctx.params().n;
+    const Sha256State &mid = ctx.seededState();
+    const size_t data_len = Address::compressedSize + in_len;
+    const uint64_t bit_len = (mid.bytesCompressed + data_len) * 8;
+
+    uint8_t blocks[hashLanes][Sha256::blockSize];
+    const uint8_t *bptrs[hashLanes];
+    for (unsigned l = 0; l < hashLanes; ++l) {
+        const auto adrs_c = adrs[l].compressed();
+        std::memcpy(blocks[l], adrs_c.data(), Address::compressedSize);
+        std::memcpy(blocks[l] + Address::compressedSize, in[l], in_len);
+        blocks[l][data_len] = 0x80;
+        std::memset(blocks[l] + data_len + 1, 0,
+                    Sha256::blockSize - 9 - data_len);
+        storeBe64(blocks[l] + Sha256::blockSize - 8, bit_len);
+        bptrs[l] = blocks[l];
+    }
+
+    const bool avx2 =
+        ctx.variant() == Sha256Variant::Native && sha256x8Avx2Active();
+    if (avx2) {
+        uint8_t digests[hashLanes][Sha256::digestSize];
+        uint8_t *dptrs[hashLanes];
+        for (unsigned l = 0; l < hashLanes; ++l)
+            dptrs[l] = digests[l];
+        sha256Final8SeededAvx2(mid.h, bptrs, dptrs);
+        for (unsigned l = 0; l < hashLanes; ++l)
+            std::memcpy(out[l], digests[l], n);
+    } else {
+        for (unsigned l = 0; l < hashLanes; ++l) {
+            std::array<uint32_t, 8> h = mid.h;
+            if (ctx.variant() == Sha256Variant::Native)
+                sha256CompressNative(h, blocks[l]);
+            else
+                sha256CompressPtx(h, blocks[l]);
+            uint8_t digest[Sha256::digestSize];
+            for (int i = 0; i < 8; ++i)
+                storeBe32(digest + 4 * i, h[i]);
+            std::memcpy(out[l], digest, n);
+        }
+    }
+    Sha256::addCompressions(hashLanes);
+}
+
+} // namespace
+
+void
+thashX(uint8_t *const out[], const Context &ctx, const Address adrs[],
+       const uint8_t *const in[], size_t in_len, unsigned count)
+{
+    if (count == 0 || count > hashLanes)
+        throw std::invalid_argument("thashX: count must be 1..8");
+    const unsigned n = ctx.params().n;
+
+    if (count == hashLanes &&
+        Address::compressedSize + in_len <= oneBlockMax) {
+        thashX8OneBlock(out, ctx, adrs, in, in_len);
+        return;
+    }
+
+    if (count == hashLanes) {
+        // Long inputs (e.g. the T_len public-key compression of a
+        // whole leaf's chains): the incremental 8-lane engine.
+        Sha256x8 hasher(ctx.seededState(), ctx.variant());
+
+        std::array<uint8_t, Address::compressedSize> adrs_c[hashLanes];
+        const uint8_t *ptrs[hashLanes];
+        for (unsigned l = 0; l < hashLanes; ++l) {
+            adrs_c[l] = adrs[l].compressed();
+            ptrs[l] = adrs_c[l].data();
+        }
+        hasher.update(ptrs, Address::compressedSize);
+        hasher.update(in, in_len);
+
+        uint8_t digests[hashLanes][Sha256::digestSize];
+        uint8_t *dptrs[hashLanes];
+        for (unsigned l = 0; l < hashLanes; ++l)
+            dptrs[l] = digests[l];
+        hasher.final(dptrs);
+        for (unsigned l = 0; l < hashLanes; ++l)
+            std::memcpy(out[l], digests[l], n);
+        return;
+    }
+
+    // Partial batch: scalar per lane, identical digests and counts.
+    for (unsigned l = 0; l < count; ++l)
+        thash(out[l], ctx, adrs[l], ByteSpan(in[l], in_len));
+}
+
+void
+prfAddrx8(uint8_t *const out[], const Context &ctx, const Address adrs[],
+          unsigned count)
+{
+    const uint8_t *ins[hashLanes];
+    for (unsigned l = 0; l < count; ++l)
+        ins[l] = ctx.skSeed().data();
+    thashX(out, ctx, adrs, ins, ctx.params().n, count);
+}
+
+} // namespace herosign::sphincs

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Lane-batched SPHINCS+ tweakable hashes: up to 8 independent T/F/PRF
+ * calls advanced in lockstep on the 8-lane SHA-256 engine
+ * (hash/sha256xN.hh). This is the CPU analogue of HERO-Sign's batched
+ * GPU hash calls (paper §III): WOTS+ chains, FORS leaves and Merkle
+ * leaf layers are all independent calls of one shape, so they fill
+ * SIMD lanes exactly.
+ *
+ * Every function takes a lane count `count <= 8`. A full batch of 8
+ * runs 8-wide; partial batches fall back to per-lane scalar calls so
+ * digests AND Sha256::compressionCount() accounting stay bit-for-bit
+ * identical to the scalar path for any count.
+ */
+
+#ifndef HEROSIGN_SPHINCS_THASHX_HH
+#define HEROSIGN_SPHINCS_THASHX_HH
+
+#include "common/bytes.hh"
+#include "sphincs/address.hh"
+#include "sphincs/context.hh"
+#include "sphincs/thash.hh"
+
+namespace herosign::sphincs
+{
+
+/** Lane width of the batched hash layer. */
+constexpr unsigned hashLanes = 8;
+
+/**
+ * Batched generic tweakable hash: out[l] = T(adrs[l], in[l]) for
+ * l < count, with a uniform input length.
+ * @param out count pointers to n-byte outputs
+ * @param adrs count hash addresses
+ * @param in count pointers to in_len-byte inputs
+ * @param in_len input length shared by all lanes (a multiple of n for
+ *        T_l calls, or the PRF message length)
+ * @param count active lanes, 1..8; 8 runs the x8 engine
+ *
+ * out[l] may alias in[l] (chain steps hash in place).
+ */
+void thashX(uint8_t *const out[], const Context &ctx,
+            const Address adrs[], const uint8_t *const in[],
+            size_t in_len, unsigned count);
+
+/** Batched F: out[l] = F(adrs[l], in[l]), single n-byte inputs. */
+inline void
+thashFx8(uint8_t *const out[], const Context &ctx, const Address adrs[],
+         const uint8_t *const in[], unsigned count)
+{
+    thashX(out, ctx, adrs, in, ctx.params().n, count);
+}
+
+/** Batched PRF: out[l] = PRF(pk_seed, sk_seed, adrs[l]). */
+void prfAddrx8(uint8_t *const out[], const Context &ctx,
+               const Address adrs[], unsigned count);
+
+} // namespace herosign::sphincs
+
+#endif // HEROSIGN_SPHINCS_THASHX_HH

@@ -1,6 +1,10 @@
 #include "sphincs/wots.hh"
 
+#include <algorithm>
+#include <stdexcept>
+
 #include "sphincs/thash.hh"
+#include "sphincs/thashx.hh"
 
 namespace herosign::sphincs
 {
@@ -24,6 +28,78 @@ baseW(uint32_t *out, size_t out_len, const uint8_t *in, unsigned lg_w)
         }
         bits -= lg_w;
         out[i] = (total >> bits) & ((1u << lg_w) - 1);
+    }
+}
+
+/** Upper bound on chains advanced together: 8 leaves of len chains. */
+constexpr unsigned maxBatchChains = hashLanes * maxWotsLen;
+
+/**
+ * Advance @p num independent WOTS+ chains in lockstep lanes of 8.
+ * Chain c steps its value vals[c] (n bytes, in place) from position
+ * pos[c] to end[c]; adrs[c] must have layer/tree/type/keypair/chain
+ * set (the hash position is managed here). Lanes retire as chains
+ * reach their end and are refilled from the pending chains, so lanes
+ * stay full while at least 8 chains remain; the ragged tail falls back
+ * to scalar calls, keeping digests and compression counts identical
+ * to the scalar path.
+ */
+void
+advanceChains(uint8_t *const vals[], Address adrs[], uint32_t pos[],
+              const uint32_t end[], unsigned num, const Context &ctx)
+{
+    unsigned active[maxBatchChains];
+    unsigned nactive = 0;
+    for (unsigned c = 0; c < num; ++c)
+        if (pos[c] < end[c])
+            active[nactive++] = c;
+
+    Address lane_adrs[hashLanes];
+    uint8_t *outs[hashLanes];
+    const uint8_t *ins[hashLanes];
+    while (nactive > 0) {
+        const unsigned m = std::min(nactive, hashLanes);
+        for (unsigned j = 0; j < m; ++j) {
+            const unsigned c = active[j];
+            adrs[c].setHash(pos[c]);
+            lane_adrs[j] = adrs[c];
+            outs[j] = vals[c];
+            ins[j] = vals[c];
+        }
+        thashFx8(outs, ctx, lane_adrs, ins, m);
+
+        // Retire finished lanes, compacting survivors to the front so
+        // pending chains slot in next round.
+        unsigned w = 0;
+        for (unsigned j = 0; j < m; ++j) {
+            const unsigned c = active[j];
+            if (++pos[c] < end[c])
+                active[w++] = c;
+        }
+        for (unsigned j = m; j < nactive; ++j)
+            active[w++] = active[j];
+        nactive = w;
+    }
+}
+
+/**
+ * Derive the secret chain-start values for chains [0, num) described
+ * by @p adrs (WOTS_PRF addresses, hash position 0), 8 lanes per PRF
+ * batch, into vals[c].
+ */
+void
+deriveChainSks(uint8_t *const vals[], const Address adrs[], unsigned num,
+               const Context &ctx)
+{
+    uint8_t *outs[hashLanes];
+    Address lane_adrs[hashLanes];
+    for (unsigned g = 0; g < num; g += hashLanes) {
+        const unsigned m = std::min(hashLanes, num - g);
+        for (unsigned j = 0; j < m; ++j) {
+            lane_adrs[j] = adrs[g + j];
+            outs[j] = vals[g + j];
+        }
+        prfAddrx8(outs, ctx, lane_adrs, m);
     }
 }
 
@@ -75,31 +151,71 @@ wotsChainSk(uint8_t *out, const Context &ctx, Address &adrs,
 }
 
 void
-wotsPkGen(uint8_t *pk_out, const Context &ctx, const Address &leaf_adrs)
+wotsPkGenX8(uint8_t *pk_out, const Context &ctx, uint32_t layer,
+            uint64_t tree, uint32_t leaf0, unsigned count)
 {
+    if (count == 0 || count > hashLanes)
+        throw std::invalid_argument("wotsPkGenX8: count must be 1..8");
     const Params &p = ctx.params();
     const unsigned len = p.wotsLen();
     const unsigned n = p.n;
+    const unsigned total = count * len;
 
-    Address prf_adrs = leaf_adrs;
-    prf_adrs.setType(AddrType::WotsPrf);
-    prf_adrs.setKeypair(leaf_adrs.keypair());
-    Address hash_adrs = leaf_adrs;
-    hash_adrs.setType(AddrType::WotsHash);
-    hash_adrs.setKeypair(leaf_adrs.keypair());
+    // Chain c (= leaf * len + i) lives at chains + c * n, so each
+    // leaf's chains are contiguous for the final T_len compression.
+    uint8_t chains[maxBatchChains * maxN];
+    uint8_t *vals[maxBatchChains] = {};
+    Address adrs[maxBatchChains];
+    uint32_t pos[maxBatchChains];
+    uint32_t end[maxBatchChains];
 
-    uint8_t chains[maxWotsLen * maxN];
-    for (unsigned i = 0; i < len; ++i) {
-        uint8_t sk[maxN];
-        wotsChainSk(sk, ctx, prf_adrs, i);
-        hash_adrs.setChain(i);
-        genChain(chains + i * n, sk, 0, p.wotsW - 1, ctx, hash_adrs);
+    Address prf_base;
+    prf_base.setLayer(layer);
+    prf_base.setTree(tree);
+    prf_base.setType(AddrType::WotsPrf);
+    for (unsigned c = 0; c < total; ++c) {
+        vals[c] = chains + static_cast<size_t>(c) * n;
+        adrs[c] = prf_base;
+        adrs[c].setKeypair(leaf0 + c / len);
+        adrs[c].setChain(c % len);
+        adrs[c].setHash(0);
     }
+    deriveChainSks(vals, adrs, total, ctx);
 
-    Address pk_adrs = leaf_adrs;
-    pk_adrs.setType(AddrType::WotsPk);
-    pk_adrs.setKeypair(leaf_adrs.keypair());
-    thash(pk_out, ctx, pk_adrs, ByteSpan(chains, len * n));
+    // All count * len chains advance the full w-1 steps in lockstep.
+    Address hash_base;
+    hash_base.setLayer(layer);
+    hash_base.setTree(tree);
+    hash_base.setType(AddrType::WotsHash);
+    for (unsigned c = 0; c < total; ++c) {
+        adrs[c] = hash_base;
+        adrs[c].setKeypair(leaf0 + c / len);
+        adrs[c].setChain(c % len);
+        pos[c] = 0;
+        end[c] = p.wotsW - 1;
+    }
+    advanceChains(vals, adrs, pos, end, total, ctx);
+
+    // Compress each leaf's public key, batched across leaves.
+    Address pk_adrs[hashLanes];
+    uint8_t *pks[hashLanes];
+    const uint8_t *ins[hashLanes];
+    for (unsigned j = 0; j < count; ++j) {
+        pk_adrs[j].setLayer(layer);
+        pk_adrs[j].setTree(tree);
+        pk_adrs[j].setType(AddrType::WotsPk);
+        pk_adrs[j].setKeypair(leaf0 + j);
+        pks[j] = pk_out + static_cast<size_t>(j) * n;
+        ins[j] = chains + static_cast<size_t>(j) * len * n;
+    }
+    thashX(pks, ctx, pk_adrs, ins, static_cast<size_t>(len) * n, count);
+}
+
+void
+wotsPkGen(uint8_t *pk_out, const Context &ctx, const Address &leaf_adrs)
+{
+    wotsPkGenX8(pk_out, ctx, leaf_adrs.layer(), leaf_adrs.tree(),
+                leaf_adrs.keypair(), 1);
 }
 
 void
@@ -113,19 +229,31 @@ wotsSign(uint8_t *sig, const uint8_t *msg, const Context &ctx,
     uint32_t lengths[maxWotsLen];
     chainLengths(lengths, p, msg);
 
-    Address prf_adrs = leaf_adrs;
-    prf_adrs.setType(AddrType::WotsPrf);
-    prf_adrs.setKeypair(leaf_adrs.keypair());
-    Address hash_adrs = leaf_adrs;
-    hash_adrs.setType(AddrType::WotsHash);
-    hash_adrs.setKeypair(leaf_adrs.keypair());
+    uint8_t *vals[maxWotsLen] = {};
+    Address adrs[maxWotsLen];
+    uint32_t pos[maxWotsLen];
 
+    Address prf_base = leaf_adrs;
+    prf_base.setType(AddrType::WotsPrf);
+    prf_base.setKeypair(leaf_adrs.keypair());
     for (unsigned i = 0; i < len; ++i) {
-        uint8_t sk[maxN];
-        wotsChainSk(sk, ctx, prf_adrs, i);
-        hash_adrs.setChain(i);
-        genChain(sig + i * n, sk, 0, lengths[i], ctx, hash_adrs);
+        vals[i] = sig + static_cast<size_t>(i) * n;
+        adrs[i] = prf_base;
+        adrs[i].setChain(i);
+        adrs[i].setHash(0);
     }
+    deriveChainSks(vals, adrs, len, ctx);
+
+    // Ragged chain lengths: lanes retire early and refill.
+    Address hash_base = leaf_adrs;
+    hash_base.setType(AddrType::WotsHash);
+    hash_base.setKeypair(leaf_adrs.keypair());
+    for (unsigned i = 0; i < len; ++i) {
+        adrs[i] = hash_base;
+        adrs[i].setChain(i);
+        pos[i] = 0;
+    }
+    advanceChains(vals, adrs, pos, lengths, len, ctx);
 }
 
 void
@@ -139,16 +267,23 @@ wotsPkFromSig(uint8_t *pk_out, const uint8_t *sig, const uint8_t *msg,
     uint32_t lengths[maxWotsLen];
     chainLengths(lengths, p, msg);
 
-    Address hash_adrs = leaf_adrs;
-    hash_adrs.setType(AddrType::WotsHash);
-    hash_adrs.setKeypair(leaf_adrs.keypair());
-
     uint8_t chains[maxWotsLen * maxN];
+    std::memcpy(chains, sig, static_cast<size_t>(len) * n);
+
+    uint8_t *vals[maxWotsLen] = {};
+    Address adrs[maxWotsLen];
+    uint32_t end[maxWotsLen];
+
+    Address hash_base = leaf_adrs;
+    hash_base.setType(AddrType::WotsHash);
+    hash_base.setKeypair(leaf_adrs.keypair());
     for (unsigned i = 0; i < len; ++i) {
-        hash_adrs.setChain(i);
-        genChain(chains + i * n, sig + i * n, lengths[i],
-                 p.wotsW - 1 - lengths[i], ctx, hash_adrs);
+        vals[i] = chains + static_cast<size_t>(i) * n;
+        adrs[i] = hash_base;
+        adrs[i].setChain(i);
+        end[i] = p.wotsW - 1;
     }
+    advanceChains(vals, adrs, lengths, end, len, ctx);
 
     Address pk_adrs = leaf_adrs;
     pk_adrs.setType(AddrType::WotsPk);

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * 8-lane SHA-256 engine tests: lane equivalence against the scalar
+ * hasher (one-shot, mid-state resume, ragged final-block lengths),
+ * forced-fallback behaviour, compression accounting, and the fused
+ * seeded single-block kernel.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/hex.hh"
+#include "common/random.hh"
+#include "hash/sha256xN.hh"
+
+using namespace herosign;
+
+namespace
+{
+
+/** Force the portable backend for one scope, restoring on exit. */
+struct ScopedScalarLanes
+{
+    ScopedScalarLanes() { sha256x8ForceScalar(true); }
+    ~ScopedScalarLanes() { sha256x8ForceScalar(false); }
+};
+
+/** Hash 8 lanes one-shot through Sha256x8. */
+void
+digestX8(const ByteVec msgs[8], uint8_t digests[8][32],
+         Sha256Variant variant = Sha256Variant::Native)
+{
+    const uint8_t *ptrs[8];
+    uint8_t *dptrs[8];
+    for (int l = 0; l < 8; ++l) {
+        ptrs[l] = msgs[l].data();
+        dptrs[l] = digests[l];
+    }
+    Sha256x8 hasher(variant);
+    hasher.update(ptrs, msgs[0].size());
+    hasher.final(dptrs);
+}
+
+void
+expectMatchesScalar(size_t len, uint64_t seed)
+{
+    Rng rng(seed);
+    ByteVec msgs[8];
+    for (auto &m : msgs)
+        m = rng.bytes(len);
+
+    uint8_t digests[8][32];
+    digestX8(msgs, digests);
+
+    for (int l = 0; l < 8; ++l) {
+        auto expected = Sha256::digest(msgs[l]);
+        EXPECT_EQ(hexEncode(ByteSpan(digests[l], 32)),
+                  hexEncode(expected))
+            << "lane " << l << " len " << len;
+    }
+}
+
+TEST(Sha256x8, MatchesScalarAcrossLengths)
+{
+    // Ragged final-block lengths: around the 55/56 padding boundary,
+    // the 64-byte block boundary, multi-block, and empty.
+    const size_t lengths[] = {0,  1,  31, 32,  54,  55,  56,
+                              63, 64, 65, 119, 128, 200, 576};
+    uint64_t seed = 1;
+    for (size_t len : lengths)
+        expectMatchesScalar(len, seed++);
+}
+
+TEST(Sha256x8, MatchesScalarOnPortableBackend)
+{
+    ScopedScalarLanes scoped;
+    EXPECT_FALSE(sha256x8Avx2Active());
+    const size_t lengths[] = {0, 1, 55, 56, 64, 65, 200};
+    uint64_t seed = 100;
+    for (size_t len : lengths)
+        expectMatchesScalar(len, seed++);
+}
+
+TEST(Sha256x8, PtxVariantLanesMatchScalar)
+{
+    Rng rng(7);
+    ByteVec msgs[8];
+    for (auto &m : msgs)
+        m = rng.bytes(96);
+    uint8_t digests[8][32];
+    digestX8(msgs, digests, Sha256Variant::Ptx);
+    for (int l = 0; l < 8; ++l) {
+        auto expected = Sha256::digest(msgs[l], Sha256Variant::Ptx);
+        EXPECT_EQ(hexEncode(ByteSpan(digests[l], 32)),
+                  hexEncode(expected));
+    }
+}
+
+TEST(Sha256x8, MidStateResumeMatchesScalar)
+{
+    Rng rng(11);
+    ByteVec prefix = rng.bytes(64); // one whole block
+    Sha256 seeded;
+    seeded.update(prefix);
+    const Sha256State mid = seeded.midState();
+
+    for (size_t suffix_len : {0u, 16u, 54u, 55u, 64u, 130u}) {
+        ByteVec suffixes[8];
+        for (auto &s : suffixes)
+            s = rng.bytes(suffix_len);
+
+        const uint8_t *ptrs[8];
+        uint8_t digests[8][32];
+        uint8_t *dptrs[8];
+        for (int l = 0; l < 8; ++l) {
+            ptrs[l] = suffixes[l].data();
+            dptrs[l] = digests[l];
+        }
+        Sha256x8 hasher(mid);
+        hasher.update(ptrs, suffix_len);
+        hasher.final(dptrs);
+
+        for (int l = 0; l < 8; ++l) {
+            Sha256 scalar(mid);
+            scalar.update(suffixes[l]);
+            uint8_t expected[32];
+            scalar.final(expected);
+            EXPECT_EQ(hexEncode(ByteSpan(digests[l], 32)),
+                      hexEncode(ByteSpan(expected, 32)))
+                << "suffix len " << suffix_len << " lane " << l;
+        }
+    }
+}
+
+TEST(Sha256x8, RejectsUnalignedMidState)
+{
+    Sha256State mid{};
+    mid.bytesCompressed = 63;
+    EXPECT_THROW(Sha256x8 h(mid), std::logic_error);
+}
+
+TEST(Sha256x8, CompressionCountMatchesEightScalarCalls)
+{
+    Rng rng(21);
+    for (size_t len : {16u, 64u, 200u}) {
+        ByteVec msgs[8];
+        for (auto &m : msgs)
+            m = rng.bytes(len);
+
+        Sha256::resetCompressionCount();
+        for (int l = 0; l < 8; ++l)
+            (void)Sha256::digest(msgs[l]);
+        const uint64_t scalar_count = Sha256::compressionCount();
+
+        Sha256::resetCompressionCount();
+        uint8_t digests[8][32];
+        digestX8(msgs, digests);
+        EXPECT_EQ(Sha256::compressionCount(), scalar_count)
+            << "len " << len;
+    }
+}
+
+TEST(Sha256x8, FusedSeededKernelMatchesIncremental)
+{
+    if (!sha256x8Avx2Active())
+        GTEST_SKIP() << "AVX2 backend unavailable";
+
+    Rng rng(31);
+    ByteVec prefix = rng.bytes(64);
+    Sha256 seeded;
+    seeded.update(prefix);
+    const Sha256State mid = seeded.midState();
+
+    // One pre-padded block per lane carrying 40 bytes of data.
+    const size_t data_len = 40;
+    uint8_t blocks[8][64];
+    const uint8_t *bptrs[8];
+    ByteVec payloads[8];
+    for (int l = 0; l < 8; ++l) {
+        payloads[l] = rng.bytes(data_len);
+        std::memcpy(blocks[l], payloads[l].data(), data_len);
+        blocks[l][data_len] = 0x80;
+        std::memset(blocks[l] + data_len + 1, 0, 64 - 9 - data_len);
+        storeBe64(blocks[l] + 56, (mid.bytesCompressed + data_len) * 8);
+        bptrs[l] = blocks[l];
+    }
+    uint8_t digests[8][32];
+    uint8_t *dptrs[8];
+    for (int l = 0; l < 8; ++l)
+        dptrs[l] = digests[l];
+    sha256Final8SeededAvx2(mid.h, bptrs, dptrs);
+
+    for (int l = 0; l < 8; ++l) {
+        Sha256 scalar(mid);
+        scalar.update(payloads[l]);
+        uint8_t expected[32];
+        scalar.final(expected);
+        EXPECT_EQ(hexEncode(ByteSpan(digests[l], 32)),
+                  hexEncode(ByteSpan(expected, 32)));
+    }
+}
+
+TEST(Sha256x8, DispatchQueriesAreConsistent)
+{
+    // Active implies supported implies compiled.
+    if (sha256x8Avx2Active()) {
+        EXPECT_TRUE(sha256x8Avx2Supported());
+    }
+    if (sha256x8Avx2Supported()) {
+        EXPECT_TRUE(sha256x8Avx2Compiled());
+    }
+
+    // The force hook always wins over cpuid.
+    sha256x8ForceScalar(true);
+    EXPECT_FALSE(sha256x8Avx2Active());
+    sha256x8ForceScalar(false);
+}
+
+} // namespace
