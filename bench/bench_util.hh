@@ -10,11 +10,14 @@
 #define HEROSIGN_BENCH_BENCH_UTIL_HH
 
 #include <charconv>
+#include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <map>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/table.hh"
 #include "core/engine.hh"
@@ -27,6 +30,7 @@ struct Options
 {
     bool csv = false;
     unsigned iters = 0; ///< --iters N; 0 = the bench's own default
+    std::string jsonPath; ///< --json <path>; empty = no JSON output
 
     static Options
     parse(int argc, char **argv)
@@ -36,6 +40,17 @@ struct Options
             std::string a = argv[i];
             if (a == "--csv") {
                 o.csv = true;
+            } else if (a == "--json") {
+                // Consume the value only when it is not another flag,
+                // matching the --iters convention below.
+                const char *v = i + 1 < argc ? argv[i + 1] : nullptr;
+                if (v && std::strncmp(v, "--", 2) != 0) {
+                    o.jsonPath = v;
+                    ++i;
+                } else {
+                    std::cerr << "--json expects a file path; "
+                                 "ignoring\n";
+                }
             } else if (a == "--iters") {
                 // Consume the value only when it parses, so a
                 // following flag is not swallowed by a bad value.
@@ -62,11 +77,104 @@ struct Options
     }
 };
 
-/** Print the experiment banner and the table (text or CSV). */
+/** Escape a string for embedding in a JSON document. */
+inline std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+/**
+ * Accumulates every table a bench emits and rewrites the --json file
+ * as one array of {title, note, headers, rows} objects, rows keyed by
+ * header — the machine-readable record the BENCH_*.json perf
+ * trajectory is built from. Benches are single-threaded; rewriting on
+ * each emit keeps the file valid even if the bench aborts later.
+ */
+inline void
+emitJson(const std::string &path, const std::string &title,
+         const std::string &note, const TextTable &table)
+{
+    // Keyed by destination so two --json paths in one process (or a
+    // future multi-file bench) cannot cross-contaminate.
+    static std::map<std::string, std::vector<std::string>> rendered_by;
+    std::vector<std::string> &rendered = rendered_by[path];
+
+    // Built with append() chains: GCC 12 raises a -Wrestrict false
+    // positive on nested operator+ of temporaries here.
+    const auto &headers = table.headers();
+    std::string obj;
+    obj.append("  {\n    \"title\": \"");
+    obj.append(jsonEscape(title));
+    obj.append("\",\n    \"note\": \"");
+    obj.append(jsonEscape(note));
+    obj.append("\",\n    \"headers\": [");
+    for (size_t c = 0; c < headers.size(); ++c) {
+        if (c)
+            obj.append(", ");
+        obj.append("\"");
+        obj.append(jsonEscape(headers[c]));
+        obj.append("\"");
+    }
+    obj.append("],\n    \"rows\": [\n");
+    bool first_row = true;
+    for (const auto &row : table.rawRows()) {
+        if (row.empty())
+            continue; // separator
+        if (!first_row)
+            obj.append(",\n");
+        first_row = false;
+        obj.append("      {");
+        for (size_t c = 0; c < headers.size() && c < row.size(); ++c) {
+            if (c)
+                obj.append(", ");
+            obj.append("\"");
+            obj.append(jsonEscape(headers[c]));
+            obj.append("\": \"");
+            obj.append(jsonEscape(row[c]));
+            obj.append("\"");
+        }
+        obj.append("}");
+    }
+    obj.append("\n    ]\n  }");
+    rendered.push_back(std::move(obj));
+
+    std::ofstream f(path, std::ios::trunc);
+    if (!f) {
+        std::cerr << "--json: cannot write '" << path << "'\n";
+        return;
+    }
+    f << "[\n";
+    for (size_t i = 0; i < rendered.size(); ++i)
+        f << rendered[i] << (i + 1 < rendered.size() ? ",\n" : "\n");
+    f << "]\n";
+}
+
+/** Print the experiment banner and the table (text, CSV, JSON). */
 inline void
 emit(const Options &o, const std::string &title, const TextTable &table,
      const std::string &note = "")
 {
+    if (!o.jsonPath.empty())
+        emitJson(o.jsonPath, title, note, table);
     if (o.csv) {
         std::cout << table.renderCsv();
         return;

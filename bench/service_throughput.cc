@@ -1,0 +1,229 @@
+/**
+ * @file
+ * Serving-layer throughput: the batched lane-parallel verification
+ * path against the scalar reference, and multi-tenant sign routing
+ * through SignService's warm context cache.
+ *
+ *   $ ./service_throughput [--csv] [--json out.json] [--msgs N]
+ *                          [--set NAME] [--tenants T]
+ *
+ * Verify rows per parameter set:
+ *   - "scalar verify (x8 off)": sphincs::verify with the 8-lane hash
+ *     engine forced onto scalar lanes — the pre-batching reference
+ *     every other row is measured against (same convention as
+ *     batch_throughput).
+ *   - "scalar verify": the per-signature loop with the SIMD backend
+ *     active (its WOTS chain recompute already fills lanes within one
+ *     signature).
+ *   - "verifyBatch x8": the batched path, lanes filled across
+ *     signatures. The acceptance bar is >= 2x the scalar reference,
+ *     single-threaded.
+ *
+ * The sign-routing section drives one SignService over T tenants and
+ * reports throughput plus the context-cache counters proving the hot
+ * path constructs no per-sign Context (misses == tenants).
+ */
+
+#include <memory>
+#include <thread>
+
+#include "bench_util.hh"
+#include "common/random.hh"
+#include "hash/sha256xN.hh"
+#include "service/sign_service.hh"
+#include "service/verify_service.hh"
+#include "sphincs/sphincs.hh"
+
+using namespace herosign;
+using namespace herosign::bench;
+using service::KeyStore;
+using service::ServiceConfig;
+using service::SignService;
+using service::VerifyService;
+using sphincs::Context;
+using sphincs::Params;
+using sphincs::SphincsPlus;
+
+namespace
+{
+
+double
+nowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+std::vector<ByteVec>
+makeBatch(Rng &rng, unsigned count)
+{
+    std::vector<ByteVec> msgs;
+    msgs.reserve(count);
+    for (unsigned i = 0; i < count; ++i)
+        msgs.push_back(rng.bytes(32));
+    return msgs;
+}
+
+/** Scalar per-signature verification loop. */
+double
+scalarVerifyUs(const SphincsPlus &scheme, const sphincs::PublicKey &pk,
+               const std::vector<ByteVec> &msgs,
+               const std::vector<ByteVec> &sigs)
+{
+    const double t0 = nowUs();
+    for (size_t i = 0; i < msgs.size(); ++i) {
+        if (!scheme.verify(msgs[i], sigs[i], pk))
+            std::abort(); // all inputs are valid by construction
+    }
+    return nowUs() - t0;
+}
+
+/** Batched lane-parallel verification with a warm context. */
+double
+batchVerifyUs(const SphincsPlus &scheme, const Context &ctx,
+              const sphincs::PublicKey &pk,
+              const std::vector<ByteVec> &msgs,
+              const std::vector<ByteVec> &sigs)
+{
+    std::vector<ByteSpan> m(msgs.size());
+    std::vector<ByteSpan> s(sigs.size());
+    for (size_t i = 0; i < msgs.size(); ++i) {
+        m[i] = ByteSpan(msgs[i]);
+        s[i] = ByteSpan(sigs[i]);
+    }
+    const double t0 = nowUs();
+    auto ok = scheme.verifyBatch(ctx, m, s, pk);
+    const double us = nowUs() - t0;
+    for (size_t i = 0; i < msgs.size(); ++i)
+        if (!ok[i])
+            std::abort();
+    return us;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    Options opt = Options::parse(argc, argv);
+    unsigned msgs_per_set = 48;
+    unsigned tenants = 4;
+    std::string only_set;
+    for (int i = 1; i < argc; ++i) {
+        const std::string a = argv[i];
+        if (a == "--msgs" && i + 1 < argc)
+            msgs_per_set = std::max(
+                1u, static_cast<unsigned>(std::stoul(argv[++i])));
+        else if (a == "--set" && i + 1 < argc)
+            only_set = argv[++i];
+        else if (a == "--tenants" && i + 1 < argc)
+            tenants = std::max(
+                1u, static_cast<unsigned>(std::stoul(argv[++i])));
+    }
+
+    // --- Batched verification vs the scalar reference. ---
+    TextTable vt({"set", "mode", "sigs", "wall ms", "verifies/s",
+                  "vs scalar"});
+    bool first_set = true;
+    for (const Params &p : Params::all()) {
+        if (!only_set.empty() &&
+            p.name.find(only_set) == std::string::npos)
+            continue;
+        if (!first_set)
+            vt.addSeparator();
+        first_set = false;
+
+        SphincsPlus scheme(p);
+        Rng rng(0x5e21 + p.n);
+        auto kp = scheme.keygenFromSeed(rng.bytes(3 * p.n));
+        auto msgs = makeBatch(rng, msgs_per_set);
+        std::vector<ByteVec> sigs;
+        sigs.reserve(msgs.size());
+        for (const auto &m : msgs)
+            sigs.push_back(scheme.sign(m, kp.sk));
+        Context ctx(p, kp.pk.pkSeed, {});
+
+        // Reference: scalar loop with the x8 engine forced onto
+        // scalar lanes (the pre-batching verify path).
+        sha256x8ForceScalar(true);
+        const double ref_us = scalarVerifyUs(scheme, kp.pk, msgs, sigs);
+        sha256x8ForceScalar(false);
+        const double ref_rate = msgs.size() * 1e6 / ref_us;
+        vt.addRow({p.name, "scalar verify (x8 off)",
+                   std::to_string(msgs.size()), fmtF(ref_us / 1000.0),
+                   fmtF(ref_rate, 1), fmtX(1.0)});
+
+        const double sc_us = scalarVerifyUs(scheme, kp.pk, msgs, sigs);
+        const double sc_rate = msgs.size() * 1e6 / sc_us;
+        vt.addRow({p.name,
+                   sha256x8Avx2Active() ? "scalar verify"
+                                        : "scalar verify (no AVX2)",
+                   std::to_string(msgs.size()), fmtF(sc_us / 1000.0),
+                   fmtF(sc_rate, 1), fmtX(sc_rate / ref_rate)});
+
+        const double bx_us =
+            batchVerifyUs(scheme, ctx, kp.pk, msgs, sigs);
+        const double bx_rate = msgs.size() * 1e6 / bx_us;
+        vt.addRow({p.name,
+                   sha256x8Avx2Active() ? "verifyBatch x8"
+                                        : "verifyBatch (no AVX2)",
+                   std::to_string(msgs.size()), fmtF(bx_us / 1000.0),
+                   fmtF(bx_rate, 1), fmtX(bx_rate / ref_rate)});
+    }
+    emit(opt, "Batched verification throughput (single thread)", vt,
+         "reference = scalar verify with 8-lane engine forced scalar; "
+         "batched verify fills hash lanes across signatures");
+
+    // --- Multi-tenant sign routing through the warm context cache ---
+    // Same substring matching as the verify section above.
+    const Params *routing_set = &Params::sphincs128f();
+    for (const Params &cand : Params::all()) {
+        if (!only_set.empty() &&
+            cand.name.find(only_set) != std::string::npos) {
+            routing_set = &cand;
+            break;
+        }
+    }
+    const Params &p = *routing_set;
+    SphincsPlus scheme(p);
+    Rng rng(0xc0de);
+    KeyStore store;
+    for (unsigned t = 0; t < tenants; ++t)
+        store.addKey(std::string("tenant-").append(std::to_string(t)),
+                     scheme.keygenFromSeed(rng.bytes(3 * p.n)));
+
+    TextTable st({"set", "tenants", "workers", "sigs", "wall ms",
+                  "sigs/s", "ctx builds", "cache hits"});
+    for (unsigned workers : {1u, 4u}) {
+        ServiceConfig cfg;
+        cfg.workers = workers;
+        cfg.shards = workers;
+        const uint64_t ctx0 = Context::constructionCount();
+        SignService svc(store, cfg);
+        std::vector<std::future<ByteVec>> futs;
+        futs.reserve(msgs_per_set);
+        for (unsigned i = 0; i < msgs_per_set; ++i)
+            futs.push_back(
+                svc.submitSign(std::string("tenant-").append(std::to_string(i % tenants)),
+                               rng.bytes(32)));
+        for (auto &f : futs)
+            f.get();
+        svc.drain();
+        auto stats = svc.stats();
+        const uint64_t ctx_built = Context::constructionCount() - ctx0;
+        st.addRow({p.name, std::to_string(tenants),
+                   std::to_string(workers),
+                   std::to_string(stats.signsCompleted),
+                   fmtF(stats.wallUs / 1000.0),
+                   fmtF(stats.sigsPerSec, 1),
+                   std::to_string(ctx_built),
+                   std::to_string(stats.cache.hits)});
+    }
+    emit(opt, "Multi-tenant sign routing (warm context cache)", st,
+         "ctx builds counts every sphincs::Context constructed during "
+         "the run: == tenants when the hot path is construction-free; "
+         "hardware threads: " +
+             std::to_string(std::thread::hardware_concurrency()));
+    return 0;
+}

@@ -7,6 +7,9 @@
 #   ./ci.sh                              # tier-1: configure+build+ctest
 #   SANITIZE=address,undefined ./ci.sh   # instrumented build+suite,
 #                                        # in its own build dir
+#   SANITIZE=thread CTEST_REGEX='batch|queue|service' ./ci.sh
+#                                        # TSan over the threaded
+#                                        # suites only
 #   BUILD_TYPE=Debug ./ci.sh             # CI matrix entry
 #   CXX=clang++ ./ci.sh                  # compiler matrix entry
 #   WERROR=OFF ./ci.sh                   # drop -Werror (default ON)
@@ -14,6 +17,7 @@
 #                                        # backend compiled), own dir
 #   HEROSIGN_DISABLE_AVX2=1 ./ci.sh      # runtime fallback: AVX2 built
 #                                        # but dispatch forced scalar
+#   CTEST_REGEX='batch|service' ./ci.sh  # run a CTest subset (-R)
 #   ./ci.sh --format-check               # clang-format gate only
 set -euo pipefail
 
@@ -45,11 +49,14 @@ BUILD_TYPE=${BUILD_TYPE:-Release}
 WERROR=${WERROR:-ON}
 SANITIZE=${SANITIZE:-}
 HEROSIGN_AVX2=${HEROSIGN_AVX2:-ON}
+CTEST_REGEX=${CTEST_REGEX:-}
 
 # Sanitized and portable-only builds get their own trees so neither
 # cache clobbers (or masquerades as) the plain tier-1 build.
 if [[ -n "$SANITIZE" ]]; then
-    BUILD_DIR=${BUILD_DIR:-build-sanitize}
+    # One tree per sanitizer set: thread and address instrumentation
+    # cannot share objects.
+    BUILD_DIR=${BUILD_DIR:-build-sanitize-${SANITIZE//,/-}}
 elif [[ "$HEROSIGN_AVX2" != "ON" ]]; then
     BUILD_DIR=${BUILD_DIR:-build-noavx2}
 else
@@ -69,6 +76,11 @@ if command -v ccache >/dev/null 2>&1; then
     CMAKE_ARGS+=(-DCMAKE_CXX_COMPILER_LAUNCHER=ccache)
 fi
 
+CTEST_ARGS=(--output-on-failure -j "$JOBS")
+if [[ -n "$CTEST_REGEX" ]]; then
+    CTEST_ARGS+=(-R "$CTEST_REGEX")
+fi
+
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
-ctest --test-dir "$BUILD_DIR" --output-on-failure -j "$JOBS"
+ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"

@@ -8,17 +8,49 @@ namespace herosign::batch
 using sphincs::Params;
 using sphincs::SecretKey;
 
+namespace
+{
+
+/** Shared copy of @p sk whose secret seeds zeroize on release. */
+std::shared_ptr<const SecretKey>
+zeroizingCopy(const SecretKey &sk)
+{
+    return std::shared_ptr<const SecretKey>(
+        new SecretKey(sk), [](const SecretKey *p) {
+            auto *k = const_cast<SecretKey *>(p);
+            k->zeroize();
+            delete k;
+        });
+}
+
+std::shared_ptr<const SecretKey>
+requireKey(std::shared_ptr<const SecretKey> sk)
+{
+    if (!sk)
+        throw std::invalid_argument("BatchSigner: null secret key");
+    return sk;
+}
+
+} // namespace
+
 BatchSigner::BatchSigner(const Params &params, const SecretKey &sk,
                          const BatchSignerConfig &config)
-    : params_(params),
+    : BatchSigner(params, zeroizingCopy(sk), config)
+{
+}
+
+BatchSigner::BatchSigner(const Params &params,
+                         std::shared_ptr<const SecretKey> sk,
+                         const BatchSignerConfig &config)
+    : params_(params), sk_(requireKey(std::move(sk))),
+      scheme_(params_, config.variant),
+      ctx_(params_, sk_->pkSeed, sk_->skSeed, config.variant),
       queue_(config.shards == 0 ? 1 : config.shards)
 {
-    params_.validate();
     const unsigned n = config.workers == 0 ? 1 : config.workers;
     workers_.reserve(n);
     for (unsigned i = 0; i < n; ++i)
-        workers_.push_back(
-            std::make_unique<Worker>(params_, config.variant, sk));
+        workers_.push_back(std::make_unique<Worker>());
     epochWorkerBase_.assign(n, 0);
     // Start the threads only after the vector is fully built: a
     // worker indexes workers_[id] on its first instruction.
@@ -116,8 +148,9 @@ BatchSigner::workerLoop(unsigned id)
     SignRequest req;
     while (queue_.pop(req, home)) {
         try {
+            // Warm shared context: read-only state, no construction.
             ByteVec sig =
-                w.scheme.sign(req.message, w.sk, req.optRand);
+                scheme_.sign(ctx_, req.message, *sk_, req.optRand);
             if (req.callback) {
                 // A throwing callback must not poison the finished
                 // signature: isolate it from the signing try-block.

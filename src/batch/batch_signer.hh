@@ -5,8 +5,11 @@
  * Where SignEngine::signBatchTiming simulates a GPU batch timeline,
  * BatchSigner executes one: N worker threads (modeling per-stream
  * workers) pull jobs from a sharded MPMC queue (one shard per engine
- * stream) and sign with private per-worker SphincsPlus contexts, so
- * after dequeue the hot path touches no shared state. Signatures are
+ * stream) and sign against shared *immutable* key state — one
+ * SecretKey (held via shared_ptr, zeroized on teardown when owned
+ * here) and one warm hashing Context built once at construction, so
+ * the hot path performs no per-sign Context construction and no
+ * worker ever holds a private copy of secret material. Signatures are
  * byte-identical to the scalar sphincs::SphincsPlus path regardless
  * of worker count or scheduling order.
  */
@@ -51,8 +54,22 @@ struct BatchSignerConfig
 class BatchSigner
 {
   public:
+    /**
+     * Convenience constructor: copies @p sk once into shared storage
+     * that is securely zeroized when the signer (and any outstanding
+     * references) tear down.
+     */
     BatchSigner(const sphincs::Params &params,
                 const sphincs::SecretKey &sk,
+                const BatchSignerConfig &config = {});
+
+    /**
+     * Context-injection constructor: share key material owned
+     * elsewhere (e.g. a service KeyStore) without copying it. The
+     * pointee must stay immutable for the signer's lifetime.
+     */
+    BatchSigner(const sphincs::Params &params,
+                std::shared_ptr<const sphincs::SecretKey> sk,
                 const BatchSignerConfig &config = {});
     ~BatchSigner();
 
@@ -109,15 +126,7 @@ class BatchSigner
   private:
     struct Worker
     {
-        Worker(const sphincs::Params &p, Sha256Variant variant,
-               const sphincs::SecretKey &key)
-            : scheme(p, variant), sk(key)
-        {
-        }
-
         std::thread thread;
-        sphincs::SphincsPlus scheme; ///< private context: no sharing
-        sphincs::SecretKey sk;       ///< private key copy: no sharing
         std::atomic<uint64_t> signedCount{0};
     };
 
@@ -126,6 +135,11 @@ class BatchSigner
                                  SignCallback cb);
 
     sphincs::Params params_;
+    // Shared immutable signing state: one key reference (no per-worker
+    // copies), one scheme, one warm context reused by every sign call.
+    std::shared_ptr<const sphincs::SecretKey> sk_;
+    sphincs::SphincsPlus scheme_;
+    sphincs::Context ctx_;
     ShardedMpmcQueue<SignRequest> queue_;
     std::vector<std::unique_ptr<Worker>> workers_;
 

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Secure zeroization for secret key material. A plain memset before a
+ * free is dead-store-eliminated by optimizing compilers; writing
+ * through a volatile pointer forces the stores to happen, so secrets
+ * do not linger in deallocated heap pages.
+ */
+
+#ifndef HEROSIGN_COMMON_ZEROIZE_HH
+#define HEROSIGN_COMMON_ZEROIZE_HH
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/bytes.hh"
+
+namespace herosign
+{
+
+/** Overwrite @p len bytes at @p p with zeros, never elided. */
+inline void
+secureZero(void *p, size_t len)
+{
+    volatile uint8_t *vp = static_cast<volatile uint8_t *>(p);
+    for (size_t i = 0; i < len; ++i)
+        vp[i] = 0;
+}
+
+/** Zeroize a byte vector's contents (the allocation is kept). */
+inline void
+secureZero(ByteVec &v)
+{
+    if (!v.empty())
+        secureZero(v.data(), v.size());
+}
+
+} // namespace herosign
+
+#endif // HEROSIGN_COMMON_ZEROIZE_HH

@@ -1,7 +1,9 @@
 #include "core/engine.hh"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <memory>
 #include <stdexcept>
 
 #include "batch/batch_signer.hh"
@@ -413,6 +415,45 @@ SignEngine::signBatch(const std::vector<ByteVec> &messages,
         out.predictedMakespanUs =
             signBatchTiming(static_cast<unsigned>(messages.size()))
                 .makespanUs;
+    return out;
+}
+
+VerifyExecOutcome
+SignEngine::verifyBatch(const std::vector<ByteVec> &messages,
+                        const std::vector<ByteVec> &signatures,
+                        const sphincs::PublicKey &pk) const
+{
+    if (messages.size() != signatures.size())
+        throw std::invalid_argument(
+            "verifyBatch: message/signature count mismatch");
+
+    VerifyExecOutcome out;
+    if (messages.empty())
+        return out;
+
+    sphincs::SphincsPlus scheme(params_);
+    sphincs::Context ctx(params_, pk.pkSeed, {});
+    std::vector<ByteSpan> msgs(messages.size());
+    std::vector<ByteSpan> sigs(messages.size());
+    for (size_t i = 0; i < messages.size(); ++i) {
+        msgs[i] = ByteSpan(messages[i]);
+        sigs[i] = ByteSpan(signatures[i]);
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    out.ok = scheme.verifyBatch(ctx, msgs, sigs, pk);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    for (size_t i = 0; i < messages.size(); ++i) {
+        if (out.ok[i])
+            ++out.accepted;
+        else
+            ++out.rejected;
+    }
+    out.wallUs =
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+    out.verifiesPerSec =
+        out.wallUs > 0 ? messages.size() * 1e6 / out.wallUs : 0.0;
     return out;
 }
 

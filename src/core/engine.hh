@@ -73,6 +73,16 @@ struct BatchExecOutcome
     unsigned workers = 0;            ///< worker threads used
 };
 
+/** Result of executing a verification batch. */
+struct VerifyExecOutcome
+{
+    std::vector<uint8_t> ok;  ///< 1 per accepted signature, in order
+    uint64_t accepted = 0;
+    uint64_t rejected = 0;
+    double wallUs = 0;
+    double verifiesPerSec = 0;
+};
+
 /** Result of a batch timing simulation. */
 struct BatchOutcome
 {
@@ -134,6 +144,17 @@ class SignEngine
     BatchExecOutcome signBatch(const std::vector<ByteVec> &messages,
                                const sphincs::SecretKey &sk,
                                unsigned worker_override = 0) const;
+
+    /**
+     * Verify @p signatures over @p messages under one public key with
+     * the lane-batched verifier: one warm Context for the whole batch
+     * and every hot loop 8 signatures wide. Results are bool-identical
+     * to scalar sphincs::SphincsPlus::verify per pair.
+     */
+    VerifyExecOutcome
+    verifyBatch(const std::vector<ByteVec> &messages,
+                const std::vector<ByteVec> &signatures,
+                const sphincs::PublicKey &pk) const;
 
     /**
      * Simulate a batch of @p messages through the configured

@@ -1,0 +1,121 @@
+/**
+ * @file
+ * The unified statistics surface of the serving layer. SignService and
+ * VerifyService write per-tenant counters into one shared
+ * StatsRegistry, so a single snapshot answers the admission-control
+ * questions — queue depth, jobs in flight, per-tenant signing rate,
+ * verify failures — across both traffic directions.
+ */
+
+#ifndef HEROSIGN_SERVICE_SERVICE_STATS_HH
+#define HEROSIGN_SERVICE_SERVICE_STATS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace herosign::service
+{
+
+/** Context-cache behaviour counters (see ContextCache). */
+struct CacheStats
+{
+    uint64_t hits = 0;
+    uint64_t misses = 0;      ///< == warm contexts built
+    uint64_t evictions = 0;
+    size_t size = 0;
+    size_t capacity = 0;
+};
+
+/** Per-tenant snapshot values. */
+struct TenantStats
+{
+    uint64_t signsSubmitted = 0;
+    uint64_t signsCompleted = 0;  ///< successful signatures
+    uint64_t signFailures = 0;    ///< sign jobs that threw
+    uint64_t verifies = 0;        ///< verification attempts
+    uint64_t verifyRejects = 0;   ///< verifications returning false
+    double sigsPerSec = 0;        ///< completed / epoch wall clock
+};
+
+/** One snapshot of the whole serving layer. */
+struct ServiceStats
+{
+    uint64_t queueDepth = 0;     ///< jobs waiting in the sign queue
+    uint64_t inFlight = 0;       ///< submitted and not yet completed
+    uint64_t signsSubmitted = 0;
+    uint64_t signsCompleted = 0;
+    uint64_t signFailures = 0;
+    uint64_t signsRejected = 0;  ///< refused by admission control
+    uint64_t verifies = 0;
+    uint64_t verifyRejects = 0;
+    double wallUs = 0;           ///< first submit -> last completion
+    double sigsPerSec = 0;
+    CacheStats cache;
+    std::map<std::string, TenantStats> tenants;
+};
+
+/** Live per-tenant counters; pointer-stable once created. */
+struct TenantCounters
+{
+    std::atomic<uint64_t> signsSubmitted{0};
+    std::atomic<uint64_t> signsCompleted{0};
+    std::atomic<uint64_t> signFailures{0};
+    std::atomic<uint64_t> verifies{0};
+    std::atomic<uint64_t> verifyRejects{0};
+};
+
+/**
+ * Registry of per-tenant counters shared by the sign and verify
+ * services. Thread-safe; tenant() returns a reference that stays
+ * valid for the registry's lifetime, so hot paths update atomics
+ * without holding the registry lock.
+ */
+class StatsRegistry
+{
+  public:
+    /** Find or create the counters for @p tenant. */
+    TenantCounters &
+    tenant(const std::string &tenant_id)
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        auto &slot = tenants_[tenant_id];
+        if (!slot)
+            slot = std::make_unique<TenantCounters>();
+        return *slot;
+    }
+
+    /**
+     * Snapshot every tenant's counters; @p wall_us > 0 fills the
+     * per-tenant signing rates.
+     */
+    std::map<std::string, TenantStats>
+    snapshot(double wall_us = 0) const
+    {
+        std::lock_guard<std::mutex> lk(m_);
+        std::map<std::string, TenantStats> out;
+        for (const auto &[id, c] : tenants_) {
+            TenantStats t;
+            t.signsSubmitted = c->signsSubmitted.load();
+            t.signsCompleted = c->signsCompleted.load();
+            t.signFailures = c->signFailures.load();
+            t.verifies = c->verifies.load();
+            t.verifyRejects = c->verifyRejects.load();
+            if (wall_us > 0)
+                t.sigsPerSec = t.signsCompleted * 1e6 / wall_us;
+            out.emplace(id, t);
+        }
+        return out;
+    }
+
+  private:
+    mutable std::mutex m_;
+    std::map<std::string, std::unique_ptr<TenantCounters>> tenants_;
+};
+
+} // namespace herosign::service
+
+#endif // HEROSIGN_SERVICE_SERVICE_STATS_HH

@@ -1,0 +1,180 @@
+#include "service/sign_service.hh"
+
+namespace herosign::service
+{
+
+SignService::SignService(KeyStore &store, const ServiceConfig &config,
+                         std::shared_ptr<ContextCache> cache,
+                         std::shared_ptr<StatsRegistry> stats)
+    : store_(store), config_(config),
+      cache_(cache ? std::move(cache)
+                   : std::make_shared<ContextCache>(
+                         config.contextCacheCapacity, config.variant)),
+      statsReg_(stats ? std::move(stats)
+                      : std::make_shared<StatsRegistry>()),
+      queue_(config.shards == 0 ? 1 : config.shards)
+{
+    const unsigned n = config.workers == 0 ? 1 : config.workers;
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    try {
+        for (unsigned i = 0; i < n; ++i)
+            workers_[i]->thread =
+                std::thread([this, i] { workerLoop(i); });
+    } catch (...) {
+        queue_.close();
+        for (auto &w : workers_) {
+            if (w->thread.joinable())
+                w->thread.join();
+        }
+        throw;
+    }
+}
+
+SignService::~SignService()
+{
+    queue_.close();
+    for (auto &w : workers_) {
+        if (w->thread.joinable())
+            w->thread.join();
+    }
+}
+
+std::future<ByteVec>
+SignService::submitSign(const std::string &key_id, ByteVec msg,
+                        ByteVec opt_rand)
+{
+    auto key = store_.find(key_id);
+    if (!key)
+        throw std::invalid_argument("SignService: unknown key id '" +
+                                    key_id + "'");
+    if (!key->canSign())
+        throw std::invalid_argument("SignService: key '" + key_id +
+                                    "' is verify-only");
+    if (!opt_rand.empty() && opt_rand.size() != key->params.n)
+        throw std::invalid_argument(
+            "SignService: opt_rand must be n bytes");
+
+    // Admission control is a hard cap: both counters only move under
+    // drainM_, so checking and claiming the slot inside one critical
+    // section closes the check-then-act race between producers.
+    {
+        std::lock_guard<std::mutex> lk(drainM_);
+        if (config_.maxPending > 0 &&
+            submitted_.load(std::memory_order_relaxed) -
+                    completed_.load(std::memory_order_relaxed) >=
+                config_.maxPending) {
+            rejected_.fetch_add(1, std::memory_order_relaxed);
+            throw ServiceOverload("SignService: " +
+                                  std::to_string(config_.maxPending) +
+                                  " jobs already pending");
+        }
+        if (!epochOpen_) {
+            epochOpen_ = true;
+            epochStart_ = std::chrono::steady_clock::now();
+        }
+        submitted_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // The slot is claimed: any failure from here to a successful
+    // enqueue must complete it, or drain() would wait forever.
+    try {
+        TenantCounters &tc = statsReg_->tenant(key_id);
+        tc.signsSubmitted.fetch_add(1, std::memory_order_relaxed);
+        Task task;
+        // Route once at admission: the worker hot path reuses the
+        // warm context and never constructs hashing state.
+        task.warm = cache_->acquire(key);
+        task.tenant = &tc;
+        task.msg = std::move(msg);
+        task.optRand = std::move(opt_rand);
+        auto fut = task.promise.get_future();
+        queue_.push(std::move(task));
+        return fut;
+    } catch (...) {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        // Keep the per-tenant identity submitted == completed +
+        // failures intact: the job will never reach a worker.
+        statsReg_->tenant(key_id).signFailures.fetch_add(
+            1, std::memory_order_relaxed);
+        {
+            std::lock_guard<std::mutex> lk(drainM_);
+            completed_.fetch_add(1, std::memory_order_release);
+            lastCompletion_ = std::chrono::steady_clock::now();
+        }
+        drainCv_.notify_all();
+        throw;
+    }
+}
+
+void
+SignService::workerLoop(unsigned id)
+{
+    const unsigned home = id % queue_.shards();
+    Task task;
+    while (queue_.pop(task, home)) {
+        try {
+            ByteVec sig = task.warm->scheme.sign(
+                task.warm->ctx, task.msg, task.warm->key->sk,
+                task.optRand);
+            task.tenant->signsCompleted.fetch_add(
+                1, std::memory_order_relaxed);
+            task.promise.set_value(std::move(sig));
+        } catch (...) {
+            failures_.fetch_add(1, std::memory_order_relaxed);
+            task.tenant->signFailures.fetch_add(
+                1, std::memory_order_relaxed);
+            task.promise.set_exception(std::current_exception());
+        }
+        task.warm.reset(); // release the context pin promptly
+        {
+            std::lock_guard<std::mutex> lk(drainM_);
+            completed_.fetch_add(1, std::memory_order_release);
+            lastCompletion_ = std::chrono::steady_clock::now();
+        }
+        drainCv_.notify_all();
+    }
+}
+
+void
+SignService::drain()
+{
+    std::unique_lock<std::mutex> lk(drainM_);
+    drainCv_.wait(lk, [&] {
+        return completed_.load(std::memory_order_acquire) ==
+               submitted_.load(std::memory_order_acquire);
+    });
+}
+
+ServiceStats
+SignService::stats() const
+{
+    ServiceStats st;
+    // Completed loads before submitted so inFlight cannot underflow
+    // (a job never completes before it is submitted); the
+    // completed/failures difference below is clamped instead, since
+    // a failing job bumps failures_ strictly before completed_.
+    st.signFailures = failures_.load(std::memory_order_relaxed);
+    st.signsCompleted = completed_.load(std::memory_order_acquire);
+    st.signsSubmitted = submitted_.load(std::memory_order_acquire);
+    st.signsRejected = rejected_.load(std::memory_order_relaxed);
+    st.inFlight = st.signsSubmitted - st.signsCompleted;
+    st.queueDepth = queue_.sizeApprox();
+    {
+        std::lock_guard<std::mutex> lk(drainM_);
+        if (epochOpen_ && st.signsCompleted > 0)
+            st.wallUs = std::chrono::duration<double, std::micro>(
+                            lastCompletion_ - epochStart_)
+                            .count();
+    }
+    const uint64_t ok = st.signsCompleted >= st.signFailures
+                            ? st.signsCompleted - st.signFailures
+                            : 0;
+    st.sigsPerSec = st.wallUs > 0 ? ok * 1e6 / st.wallUs : 0.0;
+    st.cache = cache_->stats();
+    st.tenants = statsReg_->snapshot(st.wallUs);
+    return st;
+}
+
+} // namespace herosign::service

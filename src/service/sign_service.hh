@@ -1,0 +1,162 @@
+/**
+ * @file
+ * SignService: the multi-tenant signing front end. One worker pool
+ * serves every registered key — each request is routed through the
+ * warm ContextCache at admission, so the only per-tenant cost is the
+ * first touch (one Context construction) and the hot path signs with
+ * shared immutable state only. Admission control is a bounded
+ * pending-job cap surfaced through the unified ServiceStats.
+ */
+
+#ifndef HEROSIGN_SERVICE_SIGN_SERVICE_HH
+#define HEROSIGN_SERVICE_SIGN_SERVICE_HH
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "batch/mpmc_queue.hh"
+#include "service/context_cache.hh"
+#include "service/key_store.hh"
+#include "service/service_stats.hh"
+
+namespace herosign::service
+{
+
+/** Thrown when admission control refuses a submit. */
+class ServiceOverload : public std::runtime_error
+{
+  public:
+    explicit ServiceOverload(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/** Construction-time knobs shared by the serving-layer services. */
+struct ServiceConfig
+{
+    unsigned workers = 4;  ///< sign worker threads (clamped to >= 1)
+    unsigned shards = 4;   ///< queue shards (clamped to >= 1)
+    size_t contextCacheCapacity = 64; ///< warm per-key contexts kept
+    /// Reject submits once this many jobs are pending (0 = unbounded).
+    uint64_t maxPending = 0;
+    Sha256Variant variant = Sha256Variant::Native;
+};
+
+/**
+ * Multi-tenant signing service over a KeyStore.
+ *
+ * Thread-safe: submit() may be called concurrently from any number of
+ * producers. Each request resolves its tenant's warm context once at
+ * admission; workers then sign with no shared-state construction at
+ * all. The destructor drains outstanding work before joining.
+ */
+class SignService
+{
+  public:
+    /**
+     * @param store   key registry (must outlive the service)
+     * @param config  pool/cache/admission knobs
+     * @param cache   optional shared warm-context cache (e.g. the one
+     *                a VerifyService uses); nullptr builds a private
+     *                one sized by the config
+     * @param stats   optional shared per-tenant stats registry;
+     *                nullptr builds a private one
+     */
+    explicit SignService(KeyStore &store,
+                         const ServiceConfig &config = {},
+                         std::shared_ptr<ContextCache> cache = nullptr,
+                         std::shared_ptr<StatsRegistry> stats = nullptr);
+    ~SignService();
+
+    SignService(const SignService &) = delete;
+    SignService &operator=(const SignService &) = delete;
+
+    /**
+     * Queue one message for tenant @p key_id; the future yields the
+     * signature (or the exception signing raised).
+     * @throws std::invalid_argument for unknown or verify-only keys
+     * @throws ServiceOverload when the pending cap is hit
+     */
+    std::future<ByteVec> submitSign(const std::string &key_id,
+                                    ByteVec msg, ByteVec opt_rand = {});
+
+    /** Block until everything submitted so far has completed. */
+    void drain();
+
+    /** Snapshot the unified serving-layer statistics. */
+    ServiceStats stats() const;
+
+    /** Jobs submitted and not yet completed (approximate). */
+    uint64_t pending() const
+    {
+        const uint64_t done = completed_.load();
+        const uint64_t sub = submitted_.load();
+        return sub - done;
+    }
+
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    const std::shared_ptr<ContextCache> &contextCache() const
+    {
+        return cache_;
+    }
+
+    const std::shared_ptr<StatsRegistry> &statsRegistry() const
+    {
+        return statsReg_;
+    }
+
+    KeyStore &keyStore() const { return store_; }
+
+  private:
+    /** One queued signing job, fully routed at admission. */
+    struct Task
+    {
+        std::shared_ptr<const WarmContext> warm;
+        TenantCounters *tenant = nullptr;
+        ByteVec msg;
+        ByteVec optRand;
+        std::promise<ByteVec> promise;
+    };
+
+    struct Worker
+    {
+        std::thread thread;
+    };
+
+    void workerLoop(unsigned id);
+
+    KeyStore &store_;
+    ServiceConfig config_;
+    std::shared_ptr<ContextCache> cache_;
+    std::shared_ptr<StatsRegistry> statsReg_;
+    batch::ShardedMpmcQueue<Task> queue_;
+    std::vector<std::unique_ptr<Worker>> workers_;
+
+    std::atomic<uint64_t> submitted_{0};
+    std::atomic<uint64_t> completed_{0};
+    std::atomic<uint64_t> failures_{0};
+    std::atomic<uint64_t> rejected_{0};
+
+    // Epoch bookkeeping for wall-clock rates, guarded by drainM_.
+    mutable std::mutex drainM_;
+    std::condition_variable drainCv_;
+    std::chrono::steady_clock::time_point epochStart_;
+    std::chrono::steady_clock::time_point lastCompletion_;
+    bool epochOpen_ = false;
+};
+
+} // namespace herosign::service
+
+#endif // HEROSIGN_SERVICE_SIGN_SERVICE_HH

@@ -1,0 +1,105 @@
+#include "service/verify_service.hh"
+
+#include <map>
+#include <stdexcept>
+
+namespace herosign::service
+{
+
+VerifyService::VerifyService(KeyStore &store,
+                             std::shared_ptr<ContextCache> cache,
+                             std::shared_ptr<StatsRegistry> stats,
+                             size_t cache_capacity, Sha256Variant variant)
+    : store_(store),
+      cache_(cache ? std::move(cache)
+                   : std::make_shared<ContextCache>(cache_capacity,
+                                                    variant)),
+      statsReg_(stats ? std::move(stats)
+                      : std::make_shared<StatsRegistry>())
+{
+}
+
+bool
+VerifyService::verify(const std::string &key_id, ByteSpan msg,
+                      ByteSpan sig)
+{
+    VerifyRequest req{key_id, msg, sig};
+    return verifyBatch({req})[0] != 0;
+}
+
+std::vector<uint8_t>
+VerifyService::verifyBatch(const std::vector<VerifyRequest> &reqs)
+{
+    std::vector<uint8_t> out(reqs.size(), 0);
+
+    // Group request indices by tenant, preserving submission order
+    // within each group so lanes fill deterministically.
+    std::map<std::string, std::vector<size_t>> by_key;
+    for (size_t i = 0; i < reqs.size(); ++i)
+        by_key[reqs[i].keyId].push_back(i);
+
+    for (const auto &[key_id, idxs] : by_key) {
+        auto key = store_.find(key_id);
+        verifies_.fetch_add(idxs.size(), std::memory_order_relaxed);
+        if (!key) {
+            // Unknown tenant: every request rejects. Only the global
+            // counters record it — creating registry entries for
+            // attacker-supplied ids would grow memory without bound.
+            rejects_.fetch_add(idxs.size(), std::memory_order_relaxed);
+            continue;
+        }
+        TenantCounters &tc = statsReg_->tenant(key_id);
+        tc.verifies.fetch_add(idxs.size(), std::memory_order_relaxed);
+
+        auto warm = cache_->acquire(key);
+        std::vector<ByteSpan> msgs(idxs.size());
+        std::vector<ByteSpan> sigs(idxs.size());
+        for (size_t j = 0; j < idxs.size(); ++j) {
+            msgs[j] = reqs[idxs[j]].msg;
+            sigs[j] = reqs[idxs[j]].sig;
+        }
+        auto flags = warm->scheme.verifyBatch(warm->ctx, msgs, sigs,
+                                              warm->key->pk);
+        uint64_t group_rejects = 0;
+        for (size_t j = 0; j < idxs.size(); ++j) {
+            out[idxs[j]] = flags[j];
+            if (!flags[j])
+                ++group_rejects;
+        }
+        if (group_rejects > 0) {
+            tc.verifyRejects.fetch_add(group_rejects,
+                                       std::memory_order_relaxed);
+            rejects_.fetch_add(group_rejects,
+                               std::memory_order_relaxed);
+        }
+    }
+    return out;
+}
+
+std::vector<uint8_t>
+VerifyService::verifyBatch(const std::string &key_id,
+                           const std::vector<ByteVec> &msgs,
+                           const std::vector<ByteVec> &sigs)
+{
+    if (msgs.size() != sigs.size())
+        throw std::invalid_argument(
+            "verifyBatch: msgs/sigs size mismatch");
+    std::vector<VerifyRequest> reqs(msgs.size());
+    for (size_t i = 0; i < msgs.size(); ++i)
+        reqs[i] = VerifyRequest{key_id, ByteSpan(msgs[i]),
+                                ByteSpan(sigs[i])};
+    return verifyBatch(reqs);
+}
+
+ServiceStats
+VerifyService::stats() const
+{
+    ServiceStats st;
+    st.verifies = verifies_.load(std::memory_order_relaxed);
+    st.verifyRejects = rejects_.load(std::memory_order_relaxed);
+    st.cache = cache_->stats();
+    st.tenants = statsReg_->snapshot();
+    return st;
+}
+
+} // namespace herosign::service

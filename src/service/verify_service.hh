@@ -1,0 +1,104 @@
+/**
+ * @file
+ * VerifyService: the batched, multi-tenant verification front end —
+ * the other half of serving signature traffic. Requests group by
+ * tenant, each group runs through SphincsPlus::verifyBatch so the
+ * WOTS+ chain recompute, FORS walks and Merkle root reconstructions
+ * fill 8-wide hash lanes across signatures, and all verification
+ * reuses warm contexts from the (optionally shared) ContextCache.
+ */
+
+#ifndef HEROSIGN_SERVICE_VERIFY_SERVICE_HH
+#define HEROSIGN_SERVICE_VERIFY_SERVICE_HH
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "service/context_cache.hh"
+#include "service/key_store.hh"
+#include "service/service_stats.hh"
+
+namespace herosign::service
+{
+
+/** One verification request (spans must outlive the call). */
+struct VerifyRequest
+{
+    std::string keyId;
+    ByteSpan msg;
+    ByteSpan sig;
+};
+
+/**
+ * Multi-tenant verification service over a KeyStore.
+ *
+ * Calls are synchronous on the caller's thread (verification is
+ * read-only, so any number of threads may call concurrently); the
+ * batching win comes from lane parallelism, not queuing.
+ */
+class VerifyService
+{
+  public:
+    /**
+     * @param store  key registry (must outlive the service)
+     * @param cache  optional shared warm-context cache (pass the
+     *               SignService's to serve both directions from one
+     *               set of warm contexts); nullptr builds a private
+     *               one with @p cache_capacity entries
+     * @param stats  optional shared per-tenant stats registry
+     */
+    explicit VerifyService(
+        KeyStore &store, std::shared_ptr<ContextCache> cache = nullptr,
+        std::shared_ptr<StatsRegistry> stats = nullptr,
+        size_t cache_capacity = 64,
+        Sha256Variant variant = Sha256Variant::Native);
+
+    /**
+     * Verify one signature. Unknown tenants report false (and count
+     * as rejects in the global counters only — never as new registry
+     * entries, so unbounded attacker-supplied ids cannot grow memory)
+     * rather than throwing: in a serving loop a bad key id is data,
+     * not a programming error.
+     */
+    bool verify(const std::string &key_id, ByteSpan msg, ByteSpan sig);
+
+    /**
+     * Verify a mixed-tenant batch. Results are positional: out[i] is
+     * 1 when reqs[i] verified. Requests are grouped by tenant and
+     * each group runs 8 signatures per lane pass; results are
+     * bool-identical to calling verify() per request.
+     */
+    std::vector<uint8_t>
+    verifyBatch(const std::vector<VerifyRequest> &reqs);
+
+    /** Single-tenant convenience overload. */
+    std::vector<uint8_t> verifyBatch(const std::string &key_id,
+                                     const std::vector<ByteVec> &msgs,
+                                     const std::vector<ByteVec> &sigs);
+
+    /** Snapshot (verify counters, cache, per-tenant). */
+    ServiceStats stats() const;
+
+    const std::shared_ptr<ContextCache> &contextCache() const
+    {
+        return cache_;
+    }
+
+    const std::shared_ptr<StatsRegistry> &statsRegistry() const
+    {
+        return statsReg_;
+    }
+
+  private:
+    KeyStore &store_;
+    std::shared_ptr<ContextCache> cache_;
+    std::shared_ptr<StatsRegistry> statsReg_;
+    std::atomic<uint64_t> verifies_{0};
+    std::atomic<uint64_t> rejects_{0};
+};
+
+} // namespace herosign::service
+
+#endif // HEROSIGN_SERVICE_VERIFY_SERVICE_HH

@@ -1,15 +1,35 @@
 #include "sphincs/context.hh"
 
+#include <atomic>
 #include <stdexcept>
+
+#include "common/zeroize.hh"
 
 namespace herosign::sphincs
 {
+
+namespace
+{
+std::atomic<uint64_t> constructions{0};
+} // namespace
+
+uint64_t
+Context::constructionCount()
+{
+    return constructions.load(std::memory_order_relaxed);
+}
+
+Context::~Context()
+{
+    secureZero(skSeed_);
+}
 
 Context::Context(const Params &params, ByteSpan pk_seed, ByteSpan sk_seed,
                  Sha256Variant variant)
     : params_(params), pkSeed_(pk_seed.begin(), pk_seed.end()),
       skSeed_(sk_seed.begin(), sk_seed.end()), variant_(variant)
 {
+    constructions.fetch_add(1, std::memory_order_relaxed);
     params_.validate();
     if (pkSeed_.size() != params_.n)
         throw std::invalid_argument("Context: pk_seed must be n bytes");

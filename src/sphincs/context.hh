@@ -12,6 +12,8 @@
 #ifndef HEROSIGN_SPHINCS_CONTEXT_HH
 #define HEROSIGN_SPHINCS_CONTEXT_HH
 
+#include <cstdint>
+
 #include "common/bytes.hh"
 #include "hash/sha256.hh"
 #include "sphincs/params.hh"
@@ -33,6 +35,16 @@ class Context
     Context(const Params &params, ByteSpan pk_seed, ByteSpan sk_seed,
             Sha256Variant variant = Sha256Variant::Native);
 
+    Context(const Context &) = default;
+    Context(Context &&) = default;
+    // Assignment would let vector assignment free the previous
+    // secret-seed buffer without zeroizing it; no caller needs it.
+    Context &operator=(const Context &) = delete;
+    Context &operator=(Context &&) = delete;
+
+    /** The secret seed copy is zeroized, never just freed. */
+    ~Context();
+
     const Params &params() const { return params_; }
     ByteSpan pkSeed() const { return pkSeed_; }
     ByteSpan skSeed() const { return skSeed_; }
@@ -46,6 +58,14 @@ class Context
 
     /** Start a hasher resumed from the seeded mid-state. */
     Sha256 seededHasher() const { return Sha256(seeded_, variant_); }
+
+    /**
+     * Process-wide count of Context constructions (copies excluded).
+     * The serving layer keeps warm per-key contexts precisely so this
+     * does not grow per signature; tests and the service stats use the
+     * counter to prove the hot path stays construction-free.
+     */
+    static uint64_t constructionCount();
 
   private:
     Params params_;

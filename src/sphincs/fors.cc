@@ -184,4 +184,79 @@ forsPkFromSig(uint8_t *pk_out, const uint8_t *sig, const uint8_t *mhash,
     thash(pk_out, ctx, pk_adrs, ByteSpan(roots, p.forsTrees * n));
 }
 
+void
+forsPkFromSigX8(uint8_t *const pk_out[], const uint8_t *const sig[],
+                const uint8_t *const mhash[], const Context &ctx,
+                const Address fors_adrs[], unsigned count)
+{
+    if (count == 0 || count > hashLanes)
+        throw std::invalid_argument(
+            "forsPkFromSigX8: count must be 1..8");
+    const Params &p = ctx.params();
+    const unsigned n = p.n;
+    const unsigned k = p.forsTrees;
+    const uint32_t t = p.forsLeaves();
+    const size_t tree_sig = static_cast<size_t>(p.forsHeight + 1) * n;
+
+    uint32_t indices[hashLanes][64];
+    for (unsigned l = 0; l < count; ++l)
+        messageToIndices(indices[l], p, mhash[l]);
+
+    // Roots land contiguously per lane for the final compression.
+    uint8_t roots[hashLanes][64 * maxN];
+
+    // Walk the count * k (lane, tree) pairs in lane groups: the
+    // revealed leaf values hash 8 per F batch, then the group's
+    // auth-path walks climb the shared height a in lockstep.
+    const unsigned pairs = count * k;
+    uint8_t leaves[hashLanes][maxN];
+    for (unsigned g = 0; g < pairs; g += hashLanes) {
+        const unsigned m = std::min(hashLanes, pairs - g);
+        Address adrs[hashLanes];
+        uint8_t *louts[hashLanes];
+        uint8_t *routs[hashLanes];
+        const uint8_t *lins[hashLanes];
+        const uint8_t *leafp[hashLanes];
+        const uint8_t *auth[hashLanes];
+        uint32_t leaf_idx[hashLanes];
+        uint32_t idx_offset[hashLanes];
+
+        for (unsigned j = 0; j < m; ++j) {
+            const unsigned l = (g + j) / k;
+            const unsigned i = (g + j) % k;
+            const uint8_t *block = sig[l] + i * tree_sig;
+
+            adrs[j] = fors_adrs[l];
+            adrs[j].setType(AddrType::ForsTree);
+            adrs[j].setKeypair(fors_adrs[l].keypair());
+            adrs[j].setTreeHeight(0);
+            adrs[j].setTreeIndex(indices[l][i] + i * t);
+            louts[j] = leaves[j];
+            lins[j] = block; // revealed secret value
+
+            leafp[j] = leaves[j];
+            leaf_idx[j] = indices[l][i];
+            idx_offset[j] = i * t;
+            auth[j] = block + n;
+            routs[j] = roots[l] + static_cast<size_t>(i) * n;
+        }
+        thashFx8(louts, ctx, adrs, lins, m);
+        // The leaf addresses double as the walk scratch: computeRootX8
+        // only touches the height/index words the leaf step set.
+        computeRootX8(routs, ctx, leafp, leaf_idx, idx_offset, auth,
+                      p.forsHeight, adrs, m);
+    }
+
+    // One batched k*n-byte root compression per lane.
+    Address pk_adrs[hashLanes];
+    const uint8_t *ins[hashLanes];
+    for (unsigned l = 0; l < count; ++l) {
+        pk_adrs[l] = fors_adrs[l];
+        pk_adrs[l].setType(AddrType::ForsRoots);
+        pk_adrs[l].setKeypair(fors_adrs[l].keypair());
+        ins[l] = roots[l];
+    }
+    thashX(pk_out, ctx, pk_adrs, ins, static_cast<size_t>(k) * n, count);
+}
+
 } // namespace herosign::sphincs

@@ -71,6 +71,25 @@ void forsPkFromSig(uint8_t *pk_out, const uint8_t *sig,
                    const uint8_t *mhash, const Context &ctx,
                    const Address &fors_adrs);
 
+/**
+ * Batched verification direction for up to 8 signatures sharing one
+ * context: all count * k revealed leaves hash in 8-wide batches and
+ * the count * k independent auth-path walks (equal height a) climb in
+ * lockstep lanes, followed by one batched root compression per lane.
+ * Lanes may select different hypertree positions (per-lane address).
+ * Byte-identical to count forsPkFromSig calls.
+ *
+ * @param pk_out count pointers to n-byte FORS public keys
+ * @param sig count pointers to forsSigBytes() signature blocks
+ * @param mhash count pointers to forsMsgBytes() digest prefixes
+ * @param fors_adrs count ForsTree-typed addresses with
+ *        layer(0)/tree/keypair set
+ * @param count active lanes, 1..8
+ */
+void forsPkFromSigX8(uint8_t *const pk_out[], const uint8_t *const sig[],
+                     const uint8_t *const mhash[], const Context &ctx,
+                     const Address fors_adrs[], unsigned count);
+
 } // namespace herosign::sphincs
 
 #endif // HEROSIGN_SPHINCS_FORS_HH

@@ -105,6 +105,49 @@ computeRoot(uint8_t *root, const Context &ctx, const uint8_t *leaf,
 }
 
 void
+computeRootX8(uint8_t *const root[], const Context &ctx,
+              const uint8_t *const leaf[], const uint32_t leaf_idx[],
+              const uint32_t idx_offset[],
+              const uint8_t *const auth_path[], unsigned height,
+              Address tree_adrs[], unsigned count)
+{
+    if (count == 0 || count > hashLanes)
+        throw std::invalid_argument("computeRootX8: count must be 1..8");
+    const unsigned n = ctx.params().n;
+
+    // Current node per lane; the walks advance in lockstep because
+    // every lane climbs the same number of levels.
+    uint8_t nodes[hashLanes][maxN];
+    uint8_t pairs[hashLanes][2 * maxN];
+    uint8_t *outs[hashLanes];
+    const uint8_t *ins[hashLanes];
+    for (unsigned l = 0; l < count; ++l) {
+        std::memcpy(nodes[l], leaf[l], n);
+        outs[l] = nodes[l];
+        ins[l] = pairs[l];
+    }
+
+    for (unsigned h = 0; h < height; ++h) {
+        for (unsigned l = 0; l < count; ++l) {
+            tree_adrs[l].setTreeHeight(h + 1);
+            tree_adrs[l].setTreeIndex((leaf_idx[l] >> (h + 1)) +
+                                      (idx_offset[l] >> (h + 1)));
+            const uint8_t *sibling = auth_path[l] + h * n;
+            if ((leaf_idx[l] >> h) & 1u) {
+                std::memcpy(pairs[l], sibling, n);
+                std::memcpy(pairs[l] + n, nodes[l], n);
+            } else {
+                std::memcpy(pairs[l], nodes[l], n);
+                std::memcpy(pairs[l] + n, sibling, n);
+            }
+        }
+        thashX(outs, ctx, tree_adrs, ins, 2 * n, count);
+    }
+    for (unsigned l = 0; l < count; ++l)
+        std::memcpy(root[l], nodes[l], n);
+}
+
+void
 wotsGenLeaf(uint8_t *leaf_out, const Context &ctx, uint32_t layer,
             uint64_t tree, uint32_t leaf_idx)
 {

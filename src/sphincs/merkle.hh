@@ -96,6 +96,25 @@ void computeRoot(uint8_t *root, const Context &ctx, const uint8_t *leaf,
                  Address &tree_adrs);
 
 /**
+ * Batched root reconstruction: up to 8 independent auth-path walks of
+ * one shared @p height advanced level by level in hash lanes. Lane l
+ * reconstructs from leaf[l] / auth_path[l] with its own leaf index,
+ * index offset and subtree address, so the lanes may come from
+ * different FORS trees, different signatures, or both. Results are
+ * byte-identical to count computeRoot calls.
+ *
+ * @param root count pointers to n-byte outputs (may alias leaf[l])
+ * @param tree_adrs count addresses with layer/tree/type set; the
+ *        height/index fields are managed here (the array is scratch)
+ * @param count active lanes, 1..8
+ */
+void computeRootX8(uint8_t *const root[], const Context &ctx,
+                   const uint8_t *const leaf[], const uint32_t leaf_idx[],
+                   const uint32_t idx_offset[],
+                   const uint8_t *const auth_path[], unsigned height,
+                   Address tree_adrs[], unsigned count);
+
+/**
  * Generate the hypertree leaf (compressed WOTS+ public key) for
  * keypair @p leaf_idx in the subtree addressed by layer/tree.
  */

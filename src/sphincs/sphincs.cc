@@ -1,10 +1,14 @@
 #include "sphincs/sphincs.hh"
 
+#include <memory>
 #include <stdexcept>
+
+#include "common/zeroize.hh"
 
 #include "sphincs/fors.hh"
 #include "sphincs/merkle.hh"
 #include "sphincs/thash.hh"
+#include "sphincs/thashx.hh"
 #include "sphincs/wots.hh"
 
 namespace herosign::sphincs
@@ -40,6 +44,13 @@ SecretKey::encode() const
     append(out, pkSeed);
     append(out, pkRoot);
     return out;
+}
+
+void
+SecretKey::zeroize()
+{
+    secureZero(skSeed);
+    secureZero(skPrf);
 }
 
 SecretKey
@@ -158,8 +169,20 @@ ByteVec
 SphincsPlus::sign(ByteSpan msg, const SecretKey &sk,
                   ByteSpan opt_rand) const
 {
-    const unsigned n = params_.n;
     Context ctx(params_, sk.pkSeed, sk.skSeed, variant_);
+    return sign(ctx, msg, sk, opt_rand);
+}
+
+ByteVec
+SphincsPlus::sign(const Context &ctx, ByteSpan msg, const SecretKey &sk,
+                  ByteSpan opt_rand) const
+{
+    const unsigned n = params_.n;
+    if (ctx.params().n != n ||
+        !ctEqual(ctx.pkSeed(), ByteSpan(sk.pkSeed)) ||
+        !ctEqual(ctx.skSeed(), ByteSpan(sk.skSeed)))
+        throw std::invalid_argument(
+            "sign: context does not match the secret key");
 
     ByteVec sig(params_.sigBytes());
     uint8_t *out = sig.data();
@@ -207,11 +230,24 @@ SphincsPlus::sign(ByteSpan msg, const SecretKey &sk,
 bool
 SphincsPlus::verify(ByteSpan msg, ByteSpan sig, const PublicKey &pk) const
 {
+    if (sig.size() != params_.sigBytes())
+        return false;
+    Context ctx(params_, pk.pkSeed, {}, variant_);
+    return verify(ctx, msg, sig, pk);
+}
+
+bool
+SphincsPlus::verify(const Context &ctx, ByteSpan msg, ByteSpan sig,
+                    const PublicKey &pk) const
+{
     const unsigned n = params_.n;
+    if (ctx.params().n != n ||
+        !ctEqual(ctx.pkSeed(), ByteSpan(pk.pkSeed)))
+        throw std::invalid_argument(
+            "verify: context does not match the public key");
     if (sig.size() != params_.sigBytes())
         return false;
 
-    Context ctx(params_, pk.pkSeed, {}, variant_);
     const uint8_t *in = sig.data();
 
     ByteSpan r(in, n);
@@ -259,6 +295,178 @@ SphincsPlus::verify(ByteSpan msg, ByteSpan sig, const PublicKey &pk) const
     }
 
     return ctEqual(ByteSpan(root, n), pk.pkRoot);
+}
+
+namespace
+{
+
+/**
+ * Verify up to hashLanes signatures under one public key with every
+ * hot loop batched across the lanes: the lanes walk FORS and the d
+ * hypertree layers in lockstep (all lanes share the parameter set, so
+ * the layer structure is identical even though each lane selects its
+ * own subtree chain).
+ */
+void
+verifyGroup8(const Context &ctx, const Params &p, const ByteSpan msgs[],
+             const ByteSpan sigs[], const PublicKey &pk, bool ok[],
+             unsigned count)
+{
+    const unsigned n = p.n;
+
+    const uint8_t *in[hashLanes];
+    uint64_t idx_tree[hashLanes];
+    uint32_t idx_leaf[hashLanes];
+    ByteVec fors_msgs[hashLanes];
+
+    for (unsigned l = 0; l < count; ++l) {
+        in[l] = sigs[l].data();
+        ByteSpan r(in[l], n);
+        in[l] += n;
+
+        ByteVec digest(p.msgDigestBytes());
+        hashMessage(digest, ctx, r, pk.pkRoot, msgs[l]);
+        DigestSplit split = splitDigest(p, digest);
+        fors_msgs[l] = std::move(split.forsMsg);
+        idx_tree[l] = split.idxTree;
+        idx_leaf[l] = split.idxLeaf;
+    }
+
+    // FORS, all lanes' k trees batched together.
+    uint8_t roots[hashLanes][maxN];
+    {
+        Address fors_adrs[hashLanes];
+        uint8_t *root_ptrs[hashLanes];
+        const uint8_t *mhash[hashLanes];
+        for (unsigned l = 0; l < count; ++l) {
+            fors_adrs[l].setLayer(0);
+            fors_adrs[l].setTree(idx_tree[l]);
+            fors_adrs[l].setType(AddrType::ForsTree);
+            fors_adrs[l].setKeypair(idx_leaf[l]);
+            root_ptrs[l] = roots[l];
+            mhash[l] = fors_msgs[l].data();
+        }
+        forsPkFromSigX8(root_ptrs, in, mhash, ctx, fors_adrs, count);
+        for (unsigned l = 0; l < count; ++l)
+            in[l] += p.forsSigBytes();
+    }
+
+    // Hypertree layers in lockstep: every lane climbs layer by layer,
+    // so the WOTS+ chain recompute runs count * len ragged chains per
+    // layer and the auth-path walks fill lanes across signatures.
+    for (uint32_t layer = 0; layer < p.layers; ++layer) {
+        Address wots_adrs[hashLanes];
+        Address tree_adrs[hashLanes];
+        uint8_t leaves[hashLanes][maxN];
+        uint8_t *leaf_ptrs[hashLanes];
+        const uint8_t *leaf_in[hashLanes];
+        const uint8_t *msg_ptrs[hashLanes];
+        const uint8_t *auth[hashLanes];
+        uint8_t *root_ptrs[hashLanes];
+        uint32_t offsets[hashLanes];
+
+        for (unsigned l = 0; l < count; ++l) {
+            wots_adrs[l].setLayer(layer);
+            wots_adrs[l].setTree(idx_tree[l]);
+            wots_adrs[l].setType(AddrType::WotsHash);
+            wots_adrs[l].setKeypair(idx_leaf[l]);
+            leaf_ptrs[l] = leaves[l];
+            msg_ptrs[l] = roots[l];
+        }
+        wotsPkFromSigX8(leaf_ptrs, in, msg_ptrs, ctx, wots_adrs, count);
+
+        for (unsigned l = 0; l < count; ++l) {
+            in[l] += p.wotsSigBytes();
+            tree_adrs[l].setLayer(layer);
+            tree_adrs[l].setTree(idx_tree[l]);
+            tree_adrs[l].setType(AddrType::Tree);
+            leaf_in[l] = leaves[l];
+            auth[l] = in[l];
+            root_ptrs[l] = roots[l];
+            offsets[l] = 0;
+        }
+        computeRootX8(root_ptrs, ctx, leaf_in, idx_leaf, offsets, auth,
+                      p.treeHeight(), tree_adrs, count);
+
+        for (unsigned l = 0; l < count; ++l) {
+            in[l] += p.treeHeight() * n;
+            idx_leaf[l] = static_cast<uint32_t>(
+                idx_tree[l] & maskBits(p.treeHeight()));
+            idx_tree[l] >>= p.treeHeight();
+        }
+    }
+
+    for (unsigned l = 0; l < count; ++l)
+        ok[l] = ctEqual(ByteSpan(roots[l], n), pk.pkRoot);
+}
+
+} // namespace
+
+void
+SphincsPlus::verifyBatch(const ByteSpan msgs[], const ByteSpan sigs[],
+                         const PublicKey &pk, bool ok[],
+                         size_t count) const
+{
+    Context ctx(params_, pk.pkSeed, {}, variant_);
+    verifyBatch(ctx, msgs, sigs, pk, ok, count);
+}
+
+std::vector<uint8_t>
+SphincsPlus::verifyBatch(const Context &ctx,
+                         const std::vector<ByteSpan> &msgs,
+                         const std::vector<ByteSpan> &sigs,
+                         const PublicKey &pk) const
+{
+    if (msgs.size() != sigs.size())
+        throw std::invalid_argument(
+            "verifyBatch: msgs/sigs size mismatch");
+    std::vector<uint8_t> out(msgs.size(), 0);
+    if (msgs.empty())
+        return out;
+    std::unique_ptr<bool[]> flags(new bool[msgs.size()]);
+    verifyBatch(ctx, msgs.data(), sigs.data(), pk, flags.get(),
+                msgs.size());
+    for (size_t i = 0; i < msgs.size(); ++i)
+        out[i] = flags[i] ? 1 : 0;
+    return out;
+}
+
+void
+SphincsPlus::verifyBatch(const Context &ctx, const ByteSpan msgs[],
+                         const ByteSpan sigs[], const PublicKey &pk,
+                         bool ok[], size_t count) const
+{
+    if (ctx.params().n != params_.n ||
+        !ctEqual(ctx.pkSeed(), ByteSpan(pk.pkSeed)))
+        throw std::invalid_argument(
+            "verifyBatch: context does not match the public key");
+
+    // Malformed lengths reject up front; survivors verify in lane
+    // groups of 8.
+    size_t valid[hashLanes];
+    ByteSpan gmsgs[hashLanes];
+    ByteSpan gsigs[hashLanes];
+    bool gok[hashLanes];
+    size_t pos = 0;
+    while (pos < count) {
+        unsigned m = 0;
+        while (pos < count && m < hashLanes) {
+            if (sigs[pos].size() != params_.sigBytes()) {
+                ok[pos] = false;
+            } else {
+                valid[m] = pos;
+                gmsgs[m] = msgs[pos];
+                gsigs[m] = sigs[pos];
+                ++m;
+            }
+            ++pos;
+        }
+        if (m == 0)
+            continue;
+        verifyGroup8(ctx, params_, gmsgs, gsigs, pk, gok, m);
+        for (unsigned j = 0; j < m; ++j)
+            ok[valid[j]] = gok[j];
+    }
 }
 
 } // namespace herosign::sphincs

@@ -33,6 +33,13 @@ struct SecretKey
 
     /** Parse from the serialized form. */
     static SecretKey decode(const Params &params, ByteSpan bytes);
+
+    /**
+     * Securely zeroize the secret seeds (sk_seed, sk_prf) in place.
+     * The single definition of which fields are secret — every owner
+     * releasing a key copy must call this, not hand-roll the list.
+     */
+    void zeroize();
 };
 
 /** A SPHINCS+ public key (pk_seed, pk_root). */
@@ -102,8 +109,51 @@ class SphincsPlus
     ByteVec sign(ByteSpan msg, const SecretKey &sk,
                  ByteSpan opt_rand = {}) const;
 
+    /**
+     * Sign @p msg reusing a warm context. @p ctx must have been built
+     * for @p sk (same pk_seed and sk_seed) — checked, throws
+     * std::invalid_argument on mismatch. This is the serving-layer hot
+     * path: no per-sign Context construction.
+     */
+    ByteVec sign(const Context &ctx, ByteSpan msg, const SecretKey &sk,
+                 ByteSpan opt_rand = {}) const;
+
     /** Verify @p sig over @p msg under @p pk. */
     bool verify(ByteSpan msg, ByteSpan sig, const PublicKey &pk) const;
+
+    /**
+     * Verify reusing a warm context. @p ctx must carry the public
+     * key's pk_seed (a signing context for the same keypair works) —
+     * checked, throws std::invalid_argument on mismatch.
+     */
+    bool verify(const Context &ctx, ByteSpan msg, ByteSpan sig,
+                const PublicKey &pk) const;
+
+    /**
+     * Batched verification: ok[i] = verify(msgs[i], sigs[i], pk) for
+     * i < count, with the hot loops (WOTS+ chain recompute, FORS leaf
+     * and auth-path walks, Merkle root reconstruction) advanced across
+     * signatures in 8-wide hash lanes. Results are bool-identical to
+     * the scalar path on every backend; partial lane groups fall back
+     * to the scalar hash calls so digests match bit for bit.
+     */
+    void verifyBatch(const ByteSpan msgs[], const ByteSpan sigs[],
+                     const PublicKey &pk, bool ok[], size_t count) const;
+
+    /** Batched verification reusing a warm context. */
+    void verifyBatch(const Context &ctx, const ByteSpan msgs[],
+                     const ByteSpan sigs[], const PublicKey &pk,
+                     bool ok[], size_t count) const;
+
+    /**
+     * Vector convenience overload: out[i] is 1 when (msgs[i],
+     * sigs[i]) verifies. Throws std::invalid_argument on a msgs/sigs
+     * size mismatch.
+     */
+    std::vector<uint8_t> verifyBatch(const Context &ctx,
+                                     const std::vector<ByteSpan> &msgs,
+                                     const std::vector<ByteSpan> &sigs,
+                                     const PublicKey &pk) const;
 
     /** Compute the hypertree root for a secret key (keygen internal). */
     ByteVec computePkRoot(ByteSpan sk_seed, ByteSpan pk_seed) const;

@@ -257,6 +257,61 @@ wotsSign(uint8_t *sig, const uint8_t *msg, const Context &ctx,
 }
 
 void
+wotsPkFromSigX8(uint8_t *const pk_out[], const uint8_t *const sig[],
+                const uint8_t *const msg[], const Context &ctx,
+                const Address leaf_adrs[], unsigned count)
+{
+    if (count == 0 || count > hashLanes)
+        throw std::invalid_argument(
+            "wotsPkFromSigX8: count must be 1..8");
+    const Params &p = ctx.params();
+    const unsigned len = p.wotsLen();
+    const unsigned n = p.n;
+    const unsigned total = count * len;
+
+    // Chain c (= lane * len + i) lives at chains + c * n, so each
+    // lane's recomputed chain heads stay contiguous for its T_len
+    // compression.
+    uint8_t chains[maxBatchChains * maxN];
+    uint8_t *vals[maxBatchChains] = {};
+    Address adrs[maxBatchChains];
+    uint32_t pos[maxBatchChains];
+    uint32_t end[maxBatchChains];
+
+    for (unsigned l = 0; l < count; ++l) {
+        uint32_t lengths[maxWotsLen];
+        chainLengths(lengths, p, msg[l]);
+        std::memcpy(chains + static_cast<size_t>(l) * len * n, sig[l],
+                    static_cast<size_t>(len) * n);
+
+        Address hash_base = leaf_adrs[l];
+        hash_base.setType(AddrType::WotsHash);
+        hash_base.setKeypair(leaf_adrs[l].keypair());
+        for (unsigned i = 0; i < len; ++i) {
+            const unsigned c = l * len + i;
+            vals[c] = chains + static_cast<size_t>(c) * n;
+            adrs[c] = hash_base;
+            adrs[c].setChain(i);
+            pos[c] = lengths[i];
+            end[c] = p.wotsW - 1;
+        }
+    }
+    advanceChains(vals, adrs, pos, end, total, ctx);
+
+    // One T_len public-key compression per lane, batched.
+    Address pk_adrs[hashLanes];
+    const uint8_t *ins[hashLanes];
+    for (unsigned l = 0; l < count; ++l) {
+        pk_adrs[l] = leaf_adrs[l];
+        pk_adrs[l].setType(AddrType::WotsPk);
+        pk_adrs[l].setKeypair(leaf_adrs[l].keypair());
+        ins[l] = chains + static_cast<size_t>(l) * len * n;
+    }
+    thashX(pk_out, ctx, pk_adrs, ins, static_cast<size_t>(len) * n,
+           count);
+}
+
+void
 wotsPkFromSig(uint8_t *pk_out, const uint8_t *sig, const uint8_t *msg,
               const Context &ctx, const Address &leaf_adrs)
 {

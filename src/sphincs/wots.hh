@@ -80,6 +80,25 @@ void wotsPkFromSig(uint8_t *pk_out, const uint8_t *sig,
                    const uint8_t *msg, const Context &ctx,
                    const Address &leaf_adrs);
 
+/**
+ * Recompute up to 8 compressed public keys from signatures in one
+ * lockstep pass — the hot loop of batched verification. All
+ * count * len ragged chains advance together (lanes retire early and
+ * refill), and the final T_len compressions run one per lane. The
+ * signatures may sit in different hypertree positions (each lane has
+ * its own address) but must share one context / parameter set.
+ * Byte-identical to count wotsPkFromSig calls.
+ *
+ * @param pk_out count pointers to n-byte outputs
+ * @param sig count pointers to wotsSigBytes() signatures
+ * @param msg count pointers to the n-byte signed roots
+ * @param leaf_adrs count addresses with layer/tree/keypair set
+ * @param count active lanes, 1..8
+ */
+void wotsPkFromSigX8(uint8_t *const pk_out[], const uint8_t *const sig[],
+                     const uint8_t *const msg[], const Context &ctx,
+                     const Address leaf_adrs[], unsigned count);
+
 } // namespace herosign::sphincs
 
 #endif // HEROSIGN_SPHINCS_WOTS_HH

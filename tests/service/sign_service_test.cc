@@ -1,0 +1,211 @@
+/**
+ * @file
+ * SignService: multi-tenant routing correctness (byte-identical to
+ * the scalar per-key path), the no-per-sign-Context-construction
+ * guarantee, admission control, and the unified stats surface.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "../batch/batch_test_util.hh"
+#include "common/hex.hh"
+#include "service/sign_service.hh"
+#include "sphincs/sphincs.hh"
+
+using namespace herosign;
+using batchtest::miniParams;
+using batchtest::patternMsg;
+using service::KeyStore;
+using service::ServiceConfig;
+using service::ServiceOverload;
+using service::SignService;
+using sphincs::Context;
+using sphincs::SphincsPlus;
+
+namespace
+{
+
+struct Tenancy
+{
+    KeyStore store;
+    std::map<std::string, sphincs::KeyPair> keys;
+};
+
+void
+addTenants(Tenancy &t, const sphincs::Params &p, unsigned count)
+{
+    SphincsPlus scheme(p);
+    for (unsigned i = 0; i < count; ++i) {
+        const std::string id = std::string("tenant-").append(std::to_string(i));
+        auto kp = scheme.keygenFromSeed(
+            batchtest::fixedSeed(p, static_cast<uint8_t>(3 * i + 1)));
+        t.keys.emplace(id, kp);
+        t.store.addKey(id, kp);
+    }
+}
+
+} // namespace
+
+TEST(SignService, RoutesTenantsByteIdentically)
+{
+    const auto p = miniParams();
+    Tenancy t;
+    addTenants(t, p, 3);
+
+    ServiceConfig cfg;
+    cfg.workers = 3;
+    cfg.shards = 2;
+    SignService svc(t.store, cfg);
+
+    // Interleave tenants so routing actually multiplexes.
+    std::vector<std::pair<std::string, ByteVec>> jobs;
+    std::vector<std::future<ByteVec>> futs;
+    for (unsigned i = 0; i < 12; ++i) {
+        const std::string id = std::string("tenant-").append(std::to_string(i % 3));
+        ByteVec msg = patternMsg(40, static_cast<uint8_t>(i));
+        futs.push_back(svc.submitSign(id, msg));
+        jobs.emplace_back(id, std::move(msg));
+    }
+
+    SphincsPlus scheme(p);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        ByteVec got = futs[i].get();
+        ByteVec ref =
+            scheme.sign(jobs[i].second, t.keys.at(jobs[i].first).sk);
+        EXPECT_EQ(hexEncode(got), hexEncode(ref)) << "job " << i;
+    }
+    svc.drain();
+
+    auto st = svc.stats();
+    EXPECT_EQ(st.signsSubmitted, 12u);
+    EXPECT_EQ(st.signsCompleted, 12u);
+    EXPECT_EQ(st.signFailures, 0u);
+    EXPECT_EQ(st.inFlight, 0u);
+    EXPECT_EQ(st.queueDepth, 0u);
+    EXPECT_GT(st.sigsPerSec, 0.0);
+    ASSERT_EQ(st.tenants.size(), 3u);
+    for (const auto &[id, ts] : st.tenants) {
+        EXPECT_EQ(ts.signsSubmitted, 4u) << id;
+        EXPECT_EQ(ts.signsCompleted, 4u) << id;
+        EXPECT_GT(ts.sigsPerSec, 0.0) << id;
+    }
+}
+
+TEST(SignService, HotPathConstructsNoContexts)
+{
+    const auto p = miniParams();
+    Tenancy t;
+    addTenants(t, p, 2);
+
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    SignService svc(t.store, cfg);
+
+    // Warm-up wave: one context build per tenant, nothing else.
+    const uint64_t ctx0 = Context::constructionCount();
+    std::vector<std::future<ByteVec>> futs;
+    for (unsigned i = 0; i < 8; ++i)
+        futs.push_back(svc.submitSign(std::string("tenant-").append(std::to_string(i % 2)),
+                                      patternMsg(32, i)));
+    for (auto &f : futs)
+        f.get();
+    EXPECT_EQ(Context::constructionCount() - ctx0, 2u);
+
+    // Steady state: zero constructions, pure cache hits.
+    const uint64_t ctx1 = Context::constructionCount();
+    futs.clear();
+    for (unsigned i = 0; i < 8; ++i)
+        futs.push_back(svc.submitSign(std::string("tenant-").append(std::to_string(i % 2)),
+                                      patternMsg(32, 100 + i)));
+    for (auto &f : futs)
+        f.get();
+    EXPECT_EQ(Context::constructionCount() - ctx1, 0u);
+
+    auto st = svc.stats();
+    EXPECT_EQ(st.cache.misses, 2u);
+    EXPECT_EQ(st.cache.hits, 14u);
+}
+
+TEST(SignService, RejectsUnknownAndVerifyOnlyKeys)
+{
+    const auto p = miniParams();
+    Tenancy t;
+    addTenants(t, p, 1);
+    SphincsPlus scheme(p);
+    auto vkp = scheme.keygenFromSeed(batchtest::fixedSeed(p, 99));
+    t.store.addVerifyKey("verify-only", vkp.pk);
+
+    SignService svc(t.store);
+    EXPECT_THROW(svc.submitSign("nope", patternMsg(8)),
+                 std::invalid_argument);
+    EXPECT_THROW(svc.submitSign("verify-only", patternMsg(8)),
+                 std::invalid_argument);
+    EXPECT_THROW(
+        svc.submitSign("tenant-0", patternMsg(8), ByteVec(p.n + 1)),
+        std::invalid_argument);
+
+    // Well-formed opt_rand still works.
+    auto f = svc.submitSign("tenant-0", patternMsg(8),
+                            ByteVec(p.n, 0xa5));
+    EXPECT_EQ(f.get(), scheme.sign(patternMsg(8),
+                                   t.keys.at("tenant-0").sk,
+                                   ByteVec(p.n, 0xa5)));
+}
+
+TEST(SignService, AdmissionControlBoundsPending)
+{
+    const auto p = miniParams();
+    Tenancy t;
+    addTenants(t, p, 1);
+
+    ServiceConfig cfg;
+    cfg.workers = 1;
+    cfg.maxPending = 4;
+    SignService svc(t.store, cfg);
+
+    unsigned accepted = 0, rejected = 0;
+    std::vector<std::future<ByteVec>> futs;
+    for (unsigned i = 0; i < 64; ++i) {
+        try {
+            futs.push_back(
+                svc.submitSign("tenant-0", patternMsg(16, i)));
+            ++accepted;
+        } catch (const ServiceOverload &) {
+            ++rejected;
+        }
+    }
+    // One worker cannot keep up with a 64-submit burst at cap 4.
+    EXPECT_GT(rejected, 0u);
+    EXPECT_GE(accepted, 4u);
+    for (auto &f : futs)
+        EXPECT_EQ(f.get().size(), p.sigBytes());
+    svc.drain();
+
+    auto st = svc.stats();
+    EXPECT_EQ(st.signsSubmitted, accepted);
+    EXPECT_EQ(st.signsCompleted, accepted);
+    EXPECT_EQ(st.signsRejected, rejected);
+    EXPECT_EQ(st.inFlight, 0u);
+}
+
+TEST(SignService, SharedCacheAcrossServices)
+{
+    const auto p = miniParams();
+    Tenancy t;
+    addTenants(t, p, 2);
+
+    auto cache = std::make_shared<service::ContextCache>(8);
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    SignService a(t.store, cfg, cache);
+    SignService b(t.store, cfg, cache);
+
+    a.submitSign("tenant-0", patternMsg(8)).get();
+    b.submitSign("tenant-0", patternMsg(9)).get();
+
+    auto st = cache->stats();
+    EXPECT_EQ(st.misses, 1u); // b reused a's warm context
+    EXPECT_EQ(st.hits, 1u);
+}

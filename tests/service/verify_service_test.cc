@@ -1,0 +1,156 @@
+/**
+ * @file
+ * VerifyService: batched multi-tenant verification agrees with the
+ * scalar verifier on valid, corrupted and unknown-tenant traffic, and
+ * the shared stats registry unifies sign + verify counters.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../batch/batch_test_util.hh"
+#include "service/sign_service.hh"
+#include "service/verify_service.hh"
+#include "sphincs/sphincs.hh"
+
+using namespace herosign;
+using batchtest::miniParams;
+using batchtest::patternMsg;
+using service::KeyStore;
+using service::VerifyRequest;
+using service::VerifyService;
+using sphincs::SphincsPlus;
+
+namespace
+{
+
+struct Fixture
+{
+    sphincs::Params p = miniParams();
+    SphincsPlus scheme{p};
+    KeyStore store;
+    std::map<std::string, sphincs::KeyPair> keys;
+
+    explicit Fixture(unsigned tenants)
+    {
+        for (unsigned i = 0; i < tenants; ++i) {
+            const std::string id = std::string("t").append(std::to_string(i));
+            auto kp = scheme.keygenFromSeed(batchtest::fixedSeed(
+                p, static_cast<uint8_t>(7 * i + 2)));
+            keys.emplace(id, kp);
+            store.addKey(id, kp);
+        }
+    }
+};
+
+} // namespace
+
+TEST(VerifyService, MixedTenantBatchMatchesScalar)
+{
+    Fixture fx(3);
+    VerifyService svc(fx.store);
+
+    // Valid signatures from all tenants, plus corruption: a bit flip,
+    // a cross-tenant swap, a truncated signature, a wrong message.
+    std::vector<ByteVec> msgs;
+    std::vector<ByteVec> sigs;
+    std::vector<std::string> ids;
+    for (unsigned i = 0; i < 9; ++i) {
+        const std::string id = std::string("t").append(std::to_string(i % 3));
+        ids.push_back(id);
+        msgs.push_back(patternMsg(32, static_cast<uint8_t>(i)));
+        sigs.push_back(fx.scheme.sign(msgs.back(),
+                                      fx.keys.at(id).sk));
+    }
+    sigs[1][17] ^= 0x40;                   // bit flip -> reject
+    ids[4] = "t0";                          // signed by t1 -> reject
+    sigs[5].resize(sigs[5].size() - 1);     // truncated -> reject
+    msgs[7][0] ^= 0x01;                     // message mismatch -> reject
+
+    std::vector<VerifyRequest> reqs;
+    for (size_t i = 0; i < msgs.size(); ++i)
+        reqs.push_back(
+            VerifyRequest{ids[i], ByteSpan(msgs[i]), ByteSpan(sigs[i])});
+    auto got = svc.verifyBatch(reqs);
+
+    ASSERT_EQ(got.size(), reqs.size());
+    unsigned rejects = 0;
+    for (size_t i = 0; i < reqs.size(); ++i) {
+        const bool ref = fx.scheme.verify(msgs[i], sigs[i],
+                                          fx.keys.at(ids[i]).pk);
+        EXPECT_EQ(got[i] != 0, ref) << "request " << i;
+        if (!ref)
+            ++rejects;
+    }
+    EXPECT_EQ(rejects, 4u);
+
+    auto st = svc.stats();
+    EXPECT_EQ(st.verifies, 9u);
+    EXPECT_EQ(st.verifyRejects, 4u);
+}
+
+TEST(VerifyService, UnknownTenantRejectsWithoutThrowing)
+{
+    Fixture fx(1);
+    VerifyService svc(fx.store);
+
+    ByteVec msg = patternMsg(16);
+    ByteVec sig = fx.scheme.sign(msg, fx.keys.at("t0").sk);
+    EXPECT_TRUE(svc.verify("t0", msg, sig));
+    EXPECT_FALSE(svc.verify("ghost", msg, sig));
+
+    auto st = svc.stats();
+    EXPECT_EQ(st.verifies, 2u);
+    EXPECT_EQ(st.verifyRejects, 1u);
+    // Unknown ids only hit the global counters: per-tenant registry
+    // entries for attacker-supplied ids would grow without bound.
+    EXPECT_EQ(st.tenants.count("ghost"), 0u);
+    EXPECT_EQ(st.tenants.at("t0").verifies, 1u);
+}
+
+TEST(VerifyService, SingleTenantConvenienceOverload)
+{
+    Fixture fx(1);
+    VerifyService svc(fx.store);
+
+    std::vector<ByteVec> msgs, sigs;
+    for (unsigned i = 0; i < 5; ++i) {
+        msgs.push_back(patternMsg(24, i));
+        sigs.push_back(fx.scheme.sign(msgs.back(), fx.keys.at("t0").sk));
+    }
+    sigs[2][3] ^= 0x80;
+    auto ok = svc.verifyBatch("t0", msgs, sigs);
+    EXPECT_EQ(ok, (std::vector<uint8_t>{1, 1, 0, 1, 1}));
+
+    EXPECT_THROW(svc.verifyBatch("t0", msgs,
+                                 std::vector<ByteVec>(msgs.size() - 1)),
+                 std::invalid_argument);
+}
+
+TEST(VerifyService, SharedCacheAndStatsWithSignService)
+{
+    Fixture fx(2);
+    service::ServiceConfig cfg;
+    cfg.workers = 2;
+    service::SignService sign_svc(fx.store, cfg);
+    VerifyService verify_svc(fx.store, sign_svc.contextCache(),
+                             sign_svc.statsRegistry());
+
+    ByteVec msg = patternMsg(20);
+    ByteVec sig = sign_svc.submitSign("t0", msg).get();
+    EXPECT_TRUE(verify_svc.verify("t0", msg, sig));
+    sign_svc.drain();
+
+    // One warm context serves both directions: the verify was a hit.
+    auto cache = sign_svc.contextCache()->stats();
+    EXPECT_EQ(cache.misses, 1u);
+    EXPECT_GE(cache.hits, 1u);
+
+    // The unified per-tenant view shows both traffic directions.
+    auto st = sign_svc.stats();
+    const auto &t0 = st.tenants.at("t0");
+    EXPECT_EQ(t0.signsCompleted, 1u);
+    EXPECT_EQ(t0.verifies, 1u);
+    EXPECT_EQ(t0.verifyRejects, 0u);
+    auto vst = verify_svc.stats();
+    EXPECT_EQ(vst.tenants.at("t0").signsCompleted, 1u);
+}

@@ -1,0 +1,273 @@
+/**
+ * @file
+ * Batched lane-parallel verification equivalence: verifyBatch must be
+ * bool-identical to scalar verify for every lane composition — full
+ * and ragged groups, mixed valid/invalid lanes, malformed lengths —
+ * on both the AVX2 and the forced-scalar hash backends, and the
+ * kernel-level X8 primitives must be byte-identical to their scalar
+ * counterparts. Golden-vector checks pin the real Table I parameter
+ * sets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <numeric>
+
+#include "../batch/batch_test_util.hh"
+#include "common/hex.hh"
+#include "hash/sha256xN.hh"
+#include "sphincs/fors.hh"
+#include "sphincs/merkle.hh"
+#include "sphincs/sphincs.hh"
+#include "sphincs/thash.hh"
+#include "sphincs/wots.hh"
+
+using namespace herosign;
+using namespace herosign::sphincs;
+using batchtest::miniParams;
+using batchtest::patternMsg;
+
+namespace
+{
+
+/** Force-scalar guard so a test body runs on the portable lanes. */
+struct ScalarGuard
+{
+    ScalarGuard() { sha256x8ForceScalar(true); }
+    ~ScalarGuard() { sha256x8ForceScalar(false); }
+};
+
+std::vector<bool>
+runVerifyBatch(const SphincsPlus &scheme, const PublicKey &pk,
+               const std::vector<ByteVec> &msgs,
+               const std::vector<ByteVec> &sigs)
+{
+    std::vector<ByteSpan> m(msgs.size());
+    std::vector<ByteSpan> s(sigs.size());
+    for (size_t i = 0; i < msgs.size(); ++i) {
+        m[i] = ByteSpan(msgs[i]);
+        s[i] = ByteSpan(sigs[i]);
+    }
+    std::unique_ptr<bool[]> ok(new bool[msgs.size()]);
+    scheme.verifyBatch(m.data(), s.data(), pk, ok.get(), msgs.size());
+    return std::vector<bool>(ok.get(), ok.get() + msgs.size());
+}
+
+void
+expectBatchMatchesScalar(const SphincsPlus &scheme, const PublicKey &pk,
+                         const std::vector<ByteVec> &msgs,
+                         const std::vector<ByteVec> &sigs)
+{
+    auto batch = runVerifyBatch(scheme, pk, msgs, sigs);
+    for (size_t i = 0; i < msgs.size(); ++i) {
+        EXPECT_EQ(batch[i], scheme.verify(msgs[i], sigs[i], pk))
+            << "lane " << i;
+    }
+}
+
+} // namespace
+
+TEST(VerifyBatch, RaggedCountsMatchScalarOnMini)
+{
+    const auto p = miniParams();
+    SphincsPlus scheme(p);
+    auto kp = scheme.keygenFromSeed(batchtest::fixedSeed(p));
+
+    std::vector<ByteVec> msgs, sigs;
+    for (unsigned i = 0; i < 11; ++i) {
+        msgs.push_back(patternMsg(36, static_cast<uint8_t>(i)));
+        sigs.push_back(scheme.sign(msgs.back(), kp.sk));
+    }
+    // Every group shape from 1 lane to beyond one full group.
+    for (unsigned count : {1u, 2u, 7u, 8u, 9u, 11u}) {
+        std::vector<ByteVec> m(msgs.begin(), msgs.begin() + count);
+        std::vector<ByteVec> s(sigs.begin(), sigs.begin() + count);
+        expectBatchMatchesScalar(scheme, kp.pk, m, s);
+        auto ok = runVerifyBatch(scheme, kp.pk, m, s);
+        for (unsigned i = 0; i < count; ++i)
+            EXPECT_TRUE(ok[i]) << count << "/" << i;
+    }
+}
+
+TEST(VerifyBatch, MixedValidInvalidAndMalformedLanes)
+{
+    const auto p = miniParams();
+    SphincsPlus scheme(p);
+    auto kp = scheme.keygenFromSeed(batchtest::fixedSeed(p));
+    auto other = scheme.keygenFromSeed(batchtest::fixedSeed(p, 0x40));
+
+    std::vector<ByteVec> msgs, sigs;
+    for (unsigned i = 0; i < 10; ++i) {
+        msgs.push_back(patternMsg(28, static_cast<uint8_t>(i)));
+        sigs.push_back(scheme.sign(msgs.back(), kp.sk));
+    }
+    sigs[0][5] ^= 0x10;                  // corrupted randomizer
+    sigs[2].clear();                     // empty -> length reject
+    sigs[3] = scheme.sign(msgs[3], other.sk); // wrong key
+    sigs[5].resize(sigs[5].size() - 3);  // truncated
+    sigs[6].push_back(0);                // extended
+    msgs[8][1] ^= 0x80;                  // message mismatch
+
+    expectBatchMatchesScalar(scheme, kp.pk, msgs, sigs);
+    auto ok = runVerifyBatch(scheme, kp.pk, msgs, sigs);
+    EXPECT_EQ(ok, (std::vector<bool>{false, true, false, false, true,
+                                     false, false, true, false, true}));
+
+    // Same verdicts on the portable scalar lanes.
+    ScalarGuard guard;
+    expectBatchMatchesScalar(scheme, kp.pk, msgs, sigs);
+    EXPECT_EQ(runVerifyBatch(scheme, kp.pk, msgs, sigs), ok);
+}
+
+TEST(VerifyBatch, WarmContextOverloadAndMismatchThrows)
+{
+    const auto p = miniParams();
+    SphincsPlus scheme(p);
+    auto kp = scheme.keygenFromSeed(batchtest::fixedSeed(p));
+    auto other = scheme.keygenFromSeed(batchtest::fixedSeed(p, 0x23));
+
+    ByteVec msg = patternMsg(32);
+    ByteVec sig = scheme.sign(msg, kp.sk);
+    Context ctx(p, kp.pk.pkSeed, {});
+
+    ByteSpan m(msg), s(sig);
+    bool ok = false;
+    scheme.verifyBatch(ctx, &m, &s, kp.pk, &ok, 1);
+    EXPECT_TRUE(ok);
+    EXPECT_TRUE(scheme.verify(ctx, msg, sig, kp.pk));
+
+    // Context bound to the wrong public key is a programming error.
+    Context wrong(p, other.pk.pkSeed, {});
+    EXPECT_THROW(scheme.verifyBatch(wrong, &m, &s, kp.pk, &ok, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(scheme.verify(wrong, msg, sig, kp.pk),
+                 std::invalid_argument);
+    // Signing with a mismatched warm context is equally rejected.
+    Context sign_ctx(p, kp.sk.pkSeed, kp.sk.skSeed);
+    EXPECT_THROW(scheme.sign(sign_ctx, msg, other.sk),
+                 std::invalid_argument);
+    EXPECT_EQ(scheme.sign(sign_ctx, msg, kp.sk),
+              scheme.sign(msg, kp.sk));
+}
+
+TEST(VerifyBatch, KernelPrimitivesByteIdenticalToScalar)
+{
+    const auto p = miniParams();
+    SphincsPlus scheme(p);
+    auto kp = scheme.keygenFromSeed(batchtest::fixedSeed(p));
+    Context ctx(p, kp.sk.pkSeed, kp.sk.skSeed);
+    const unsigned n = p.n;
+
+    // Eight WOTS keypairs: sign a message each, then recompute the
+    // leaf 8-wide and scalar and compare bytes.
+    uint8_t sigs[8][maxWotsLen * maxN];
+    uint8_t msgs[8][maxN];
+    Address adrs[8];
+    const uint8_t *sig_ptrs[8];
+    const uint8_t *msg_ptrs[8];
+    uint8_t batch_pk[8][maxN];
+    uint8_t *batch_ptrs[8];
+    for (unsigned l = 0; l < 8; ++l) {
+        for (unsigned b = 0; b < n; ++b)
+            msgs[l][b] = static_cast<uint8_t>(l * 31 + b);
+        adrs[l].setLayer(l % p.layers);
+        adrs[l].setTree(l);
+        adrs[l].setType(AddrType::WotsHash);
+        adrs[l].setKeypair(l + 1);
+        wotsSign(sigs[l], msgs[l], ctx, adrs[l]);
+        sig_ptrs[l] = sigs[l];
+        msg_ptrs[l] = msgs[l];
+        batch_ptrs[l] = batch_pk[l];
+    }
+    for (unsigned count : {1u, 3u, 8u}) {
+        wotsPkFromSigX8(batch_ptrs, sig_ptrs, msg_ptrs, ctx, adrs,
+                        count);
+        for (unsigned l = 0; l < count; ++l) {
+            uint8_t ref[maxN];
+            wotsPkFromSig(ref, sigs[l], msgs[l], ctx, adrs[l]);
+            EXPECT_EQ(hexEncode(ByteSpan(batch_pk[l], n)),
+                      hexEncode(ByteSpan(ref, n)))
+                << "count " << count << " lane " << l;
+        }
+    }
+
+    // FORS: sign under 8 distinct addresses, recompute batched.
+    const size_t fors_sig = p.forsSigBytes();
+    std::vector<ByteVec> fsigs(8);
+    uint8_t fmsgs[8][32];
+    Address fadrs[8];
+    const uint8_t *fsig_ptrs[8];
+    const uint8_t *fmsg_ptrs[8];
+    uint8_t froot_batch[8][maxN];
+    uint8_t *froot_ptrs[8];
+    for (unsigned l = 0; l < 8; ++l) {
+        for (size_t b = 0; b < p.forsMsgBytes(); ++b)
+            fmsgs[l][b] = static_cast<uint8_t>(5 * l + 3 * b + 1);
+        fadrs[l].setLayer(0);
+        fadrs[l].setTree(2 * l + 1);
+        fadrs[l].setType(AddrType::ForsTree);
+        fadrs[l].setKeypair(l);
+        fsigs[l].resize(fors_sig);
+        uint8_t root[maxN];
+        forsSign(fsigs[l].data(), root, fmsgs[l], ctx, fadrs[l]);
+        fsig_ptrs[l] = fsigs[l].data();
+        fmsg_ptrs[l] = fmsgs[l];
+        froot_ptrs[l] = froot_batch[l];
+    }
+    for (unsigned count : {1u, 5u, 8u}) {
+        forsPkFromSigX8(froot_ptrs, fsig_ptrs, fmsg_ptrs, ctx, fadrs,
+                        count);
+        for (unsigned l = 0; l < count; ++l) {
+            uint8_t ref[maxN];
+            forsPkFromSig(ref, fsigs[l].data(), fmsgs[l], ctx,
+                          fadrs[l]);
+            EXPECT_EQ(hexEncode(ByteSpan(froot_batch[l], n)),
+                      hexEncode(ByteSpan(ref, n)))
+                << "count " << count << " lane " << l;
+        }
+    }
+}
+
+class VerifyBatchGolden : public ::testing::TestWithParam<const Params *>
+{
+};
+
+TEST_P(VerifyBatchGolden, TableISetsMatchScalarOnBothBackends)
+{
+    const Params &p = *GetParam();
+    SphincsPlus scheme(p);
+    ByteVec seed(3 * p.n);
+    std::iota(seed.begin(), seed.end(), static_cast<uint8_t>(0));
+    auto kp = scheme.keygenFromSeed(seed);
+
+    const std::string txt = "HERO-Sign golden vector";
+    std::vector<ByteVec> msgs;
+    std::vector<ByteVec> sigs;
+    // The golden fixture message plus derived ones, and one tamper.
+    for (unsigned i = 0; i < 4; ++i) {
+        ByteVec m(txt.begin(), txt.end());
+        m.push_back(static_cast<uint8_t>(i));
+        msgs.push_back(std::move(m));
+        sigs.push_back(scheme.sign(msgs.back(), kp.sk));
+    }
+    sigs[2][sigs[2].size() / 2] ^= 0x04;
+
+    expectBatchMatchesScalar(scheme, kp.pk, msgs, sigs);
+    auto avx = runVerifyBatch(scheme, kp.pk, msgs, sigs);
+    EXPECT_EQ(avx,
+              (std::vector<bool>{true, true, false, true}));
+
+    ScalarGuard guard;
+    expectBatchMatchesScalar(scheme, kp.pk, msgs, sigs);
+    EXPECT_EQ(runVerifyBatch(scheme, kp.pk, msgs, sigs), avx);
+}
+
+INSTANTIATE_TEST_SUITE_P(TableI, VerifyBatchGolden,
+                         ::testing::Values(&Params::sphincs128f(),
+                                           &Params::sphincs192f(),
+                                           &Params::sphincs256f()),
+                         [](const auto &info) {
+                             return info.param->name.substr(
+                                 info.param->name.find('-') + 1);
+                         });
