@@ -105,31 +105,32 @@ main(int argc, char **argv)
         const double predicted_ms =
             engine.signBatchTiming(msgs_per_set).makespanUs / 1000.0;
 
-        // Reference: one thread with the 8-lane engine forced onto
+        // Reference: one thread with the lane engine forced onto
         // the portable scalar backend (same batched code, scalar
         // lanes — compression counts match the pre-batching path
         // exactly). Everything below is "vs" this row, so the
-        // single-thread x8 row isolates the SIMD backend speedup and
+        // single-thread xN row isolates the SIMD backend speedup and
         // the worker rows show threading on top.
-        sha256x8ForceScalar(true);
+        sha256LanesForceScalar(true);
         const double ref_us = scalarWallUs(scheme, kp.sk, msgs);
-        sha256x8ForceScalar(false);
+        sha256LanesForceScalar(false);
         const double ref_rate = msgs.size() * 1e6 / ref_us;
-        table.addRow({p.name, "scalar lanes (x8 off)",
+        table.addRow({p.name, "scalar lanes (SIMD off)",
                       std::to_string(msgs.size()),
                       fmtF(ref_us / 1000.0), fmtF(ref_rate, 1),
                       fmtX(1.0), "0", fmtF(predicted_ms)});
 
-        // Honest labeling: without an active AVX2 backend this row
+        // Honest labeling: without an active SIMD backend this row
         // measures the same portable lanes as the reference.
-        const double x8_us = scalarWallUs(scheme, kp.sk, msgs);
-        const double x8_rate = msgs.size() * 1e6 / x8_us;
-        table.addRow({p.name,
-                      sha256x8Avx2Active() ? "single thread, x8"
-                                           : "single thread (no AVX2)",
-                      std::to_string(msgs.size()),
-                      fmtF(x8_us / 1000.0), fmtF(x8_rate, 1),
-                      fmtX(x8_rate / ref_rate), "0",
+        const double xn_us = scalarWallUs(scheme, kp.sk, msgs);
+        const double xn_rate = msgs.size() * 1e6 / xn_us;
+        const char *xn_label =
+            sha256LanesAvx512Active()  ? "single thread, x16 AVX-512"
+            : sha256LanesAvx2Active() ? "single thread, x8 AVX2"
+                                      : "single thread (no SIMD)";
+        table.addRow({p.name, xn_label, std::to_string(msgs.size()),
+                      fmtF(xn_us / 1000.0), fmtF(xn_rate, 1),
+                      fmtX(xn_rate / ref_rate), "0",
                       fmtF(predicted_ms)});
 
         for (unsigned workers : {1u, 2u, 4u, 8u}) {

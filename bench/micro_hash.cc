@@ -67,48 +67,57 @@ BM_HmacSha256(benchmark::State &state)
 }
 
 /**
- * 8 messages through the 8-lane engine in one shot; compare against
- * BM_Sha256x8ScalarLanes (same work, portable backend) and against
- * 8x BM_Sha256Native for the x8-vs-scalar throughput column.
+ * W messages through the lane engine in one shot; compare the x16
+ * (AVX-512), x8 (AVX2) and forced-scalar rows against W x
+ * BM_Sha256Native for the lanes-vs-scalar throughput columns.
  */
 void
-runSha256x8(benchmark::State &state, bool force_scalar)
+runSha256Lanes(benchmark::State &state, unsigned width,
+               bool force_scalar, bool no_avx512)
 {
     Rng rng(1);
     const size_t len = static_cast<size_t>(state.range(0));
-    ByteVec data[Sha256x8::lanes];
-    const uint8_t *ptrs[Sha256x8::lanes];
-    for (size_t l = 0; l < Sha256x8::lanes; ++l) {
+    ByteVec data[Sha256Lanes::maxLanes];
+    const uint8_t *ptrs[Sha256Lanes::maxLanes];
+    for (size_t l = 0; l < width; ++l) {
         data[l] = rng.bytes(len);
         ptrs[l] = data[l].data();
     }
-    uint8_t digests[Sha256x8::lanes][Sha256x8::digestSize];
-    uint8_t *dptrs[Sha256x8::lanes];
-    for (size_t l = 0; l < Sha256x8::lanes; ++l)
+    uint8_t digests[Sha256Lanes::maxLanes][Sha256Lanes::digestSize];
+    uint8_t *dptrs[Sha256Lanes::maxLanes];
+    for (size_t l = 0; l < width; ++l)
         dptrs[l] = digests[l];
 
-    sha256x8ForceScalar(force_scalar);
+    sha256LanesForceScalar(force_scalar);
+    sha256LanesDisableAvx512(no_avx512);
     for (auto _ : state) {
-        Sha256x8 hasher;
+        Sha256Lanes hasher(width);
         hasher.update(ptrs, len);
         hasher.final(dptrs);
         benchmark::DoNotOptimize(digests);
     }
-    sha256x8ForceScalar(false);
-    state.SetBytesProcessed(state.iterations() * len * Sha256x8::lanes);
-    state.SetItemsProcessed(state.iterations() * Sha256x8::lanes);
+    sha256LanesForceScalar(false);
+    sha256LanesDisableAvx512(false);
+    state.SetBytesProcessed(state.iterations() * len * width);
+    state.SetItemsProcessed(state.iterations() * width);
+}
+
+void
+BM_Sha256x16(benchmark::State &state)
+{
+    runSha256Lanes(state, 16, false, false);
 }
 
 void
 BM_Sha256x8(benchmark::State &state)
 {
-    runSha256x8(state, false);
+    runSha256Lanes(state, 8, false, true);
 }
 
 void
 BM_Sha256x8ScalarLanes(benchmark::State &state)
 {
-    runSha256x8(state, true);
+    runSha256Lanes(state, 8, true, false);
 }
 
 void
@@ -127,6 +136,7 @@ BM_Mgf1(benchmark::State &state)
 
 BENCHMARK(BM_Sha256Native)->Arg(64)->Arg(576)->Arg(4096);
 BENCHMARK(BM_Sha256Ptx)->Arg(64)->Arg(576)->Arg(4096);
+BENCHMARK(BM_Sha256x16)->Arg(64)->Arg(576)->Arg(4096);
 BENCHMARK(BM_Sha256x8)->Arg(64)->Arg(576)->Arg(4096);
 BENCHMARK(BM_Sha256x8ScalarLanes)->Arg(64)->Arg(576)->Arg(4096);
 BENCHMARK(BM_Sha512)->Arg(128)->Arg(4096);

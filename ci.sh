@@ -13,10 +13,18 @@
 #   BUILD_TYPE=Debug ./ci.sh             # CI matrix entry
 #   CXX=clang++ ./ci.sh                  # compiler matrix entry
 #   WERROR=OFF ./ci.sh                   # drop -Werror (default ON)
-#   HEROSIGN_AVX2=OFF ./ci.sh            # portable-only build (no AVX2
+#   HEROSIGN_AVX512=OFF ./ci.sh          # AVX2-only build (no AVX-512
 #                                        # backend compiled), own dir
-#   HEROSIGN_DISABLE_AVX2=1 ./ci.sh      # runtime fallback: AVX2 built
-#                                        # but dispatch forced scalar
+#   HEROSIGN_AVX2=OFF ./ci.sh            # portable-only build (no SIMD
+#                                        # backend compiled), own dir;
+#                                        # implies HEROSIGN_AVX512=OFF
+#   HEROSIGN_DISABLE_AVX512=1 ./ci.sh    # runtime fallback: AVX-512
+#                                        # built but dispatch pinned to
+#                                        # the 8-lane path
+#   HEROSIGN_DISABLE_AVX2=1 ./ci.sh      # runtime fallback: fully
+#                                        # portable lanes (disabling the
+#                                        # narrower ISA implies AVX-512
+#                                        # off too)
 #   CTEST_REGEX='batch|service' ./ci.sh  # run a CTest subset (-R)
 #   ./ci.sh --format-check               # clang-format gate only
 set -euo pipefail
@@ -49,6 +57,12 @@ BUILD_TYPE=${BUILD_TYPE:-Release}
 WERROR=${WERROR:-ON}
 SANITIZE=${SANITIZE:-}
 HEROSIGN_AVX2=${HEROSIGN_AVX2:-ON}
+HEROSIGN_AVX512=${HEROSIGN_AVX512:-ON}
+# A portable-only build makes no sense with the AVX-512 backend still
+# compiled in; the wider gate follows the narrower one down.
+if [[ "$HEROSIGN_AVX2" != "ON" ]]; then
+    HEROSIGN_AVX512=OFF
+fi
 CTEST_REGEX=${CTEST_REGEX:-}
 
 # Sanitized and portable-only builds get their own trees so neither
@@ -59,6 +73,8 @@ if [[ -n "$SANITIZE" ]]; then
     BUILD_DIR=${BUILD_DIR:-build-sanitize-${SANITIZE//,/-}}
 elif [[ "$HEROSIGN_AVX2" != "ON" ]]; then
     BUILD_DIR=${BUILD_DIR:-build-noavx2}
+elif [[ "$HEROSIGN_AVX512" != "ON" ]]; then
+    BUILD_DIR=${BUILD_DIR:-build-noavx512}
 else
     BUILD_DIR=${BUILD_DIR:-build}
 fi
@@ -67,6 +83,7 @@ CMAKE_ARGS=(
     -DCMAKE_BUILD_TYPE="$BUILD_TYPE"
     -DHEROSIGN_WERROR="$WERROR"
     -DHEROSIGN_ENABLE_AVX2="$HEROSIGN_AVX2"
+    -DHEROSIGN_ENABLE_AVX512="$HEROSIGN_AVX512"
 )
 if [[ -n "$SANITIZE" ]]; then
     CMAKE_ARGS+=(-DHEROSIGN_SANITIZE="$SANITIZE")

@@ -116,7 +116,8 @@ main(int argc, char **argv)
     auto sign_stats = sign_svc.stats();
 
     // The whole block verifies through the batched lane-parallel
-    // path, grouped per validator, 8 signatures per lane pass.
+    // path, grouped per validator, one lane-width of signatures
+    // per pass.
     std::vector<VerifyRequest> reqs;
     reqs.reserve(count);
     for (unsigned i = 0; i < count; ++i)

@@ -148,7 +148,8 @@ class SignEngine
     /**
      * Verify @p signatures over @p messages under one public key with
      * the lane-batched verifier: one warm Context for the whole batch
-     * and every hot loop 8 signatures wide. Results are bool-identical
+     * and every hot loop a full hash-lane width of signatures wide.
+     * Results are bool-identical
      * to scalar sphincs::SphincsPlus::verify per pair.
      */
     VerifyExecOutcome

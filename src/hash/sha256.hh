@@ -17,10 +17,11 @@
  * pk_seed padding block once per keypair.
  *
  * For hot loops hashing many independent inputs of one shape, see the
- * lane-batched sibling in hash/sha256xN.hh: an 8-lane engine (AVX2
- * with a bit-identical portable fallback) that resumes all lanes from
- * the same Sha256State and keeps compressionCount() consistent with
- * eight scalar calls.
+ * lane-batched sibling in hash/sha256xN.hh: a width-generic lane
+ * engine (16-lane AVX-512 and 8-lane AVX2 backends with a
+ * bit-identical portable fallback) that resumes all lanes from the
+ * same Sha256State and keeps compressionCount() consistent with the
+ * same number of scalar calls.
  */
 
 #ifndef HEROSIGN_HASH_SHA256_HH
@@ -84,8 +85,8 @@ class Sha256
 
     /**
      * Charge @p count compressions to the global counter. Used by the
-     * multi-lane engine (hash/sha256xN.hh) so one 8-wide compression
-     * accounts like eight scalar ones.
+     * multi-lane engine (hash/sha256xN.hh) so one W-wide compression
+     * accounts like W scalar ones.
      */
     static void addCompressions(uint64_t count);
 

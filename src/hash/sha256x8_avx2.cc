@@ -1,9 +1,12 @@
 /**
  * @file
- * AVX2 backend of the 8-lane SHA-256 engine. This translation unit is
- * the only one compiled with -mavx2 (see src/hash/CMakeLists.txt), so
- * the rest of the library keeps the baseline ISA and the portable
- * fallback stays usable on any x86-64.
+ * AVX2 backend of the lane-parallel SHA-256 engine: 8 lanes per
+ * compression. This translation unit is the only one compiled with
+ * -mavx2 (see src/hash/CMakeLists.txt), so the rest of the library
+ * keeps the baseline ISA and the portable fallback stays usable on
+ * any x86-64. Backend selection happens in laneDispatch()
+ * (sha256xN.cc); the 16-lane AVX-512 sibling lives in
+ * sha256x16_avx512.cc.
  *
  * Layout: fully transposed. Each SHA-256 state word a..h is one
  * __m256i whose 32-bit element l belongs to lane l; the 64-entry
@@ -15,7 +18,7 @@
  *
  * Two entry points:
  *  * sha256Compress8Avx2 — generic transposed compression for the
- *    incremental Sha256x8 engine.
+ *    incremental Sha256Lanes engine.
  *  * sha256Final8SeededAvx2 — the fused SPHINCS+ fast path: all lanes
  *    resume from ONE shared mid-state (a broadcast, no state
  *    transpose) and absorb exactly one pre-padded block, which is the

@@ -16,6 +16,7 @@ namespace
 using sha256tables::initState;
 
 std::atomic<bool> force_scalar{false};
+std::atomic<bool> disable_avx512{false};
 
 bool
 cpuHasAvx2()
@@ -28,17 +29,49 @@ cpuHasAvx2()
 }
 
 bool
-envDisablesAvx2()
+cpuHasAvx512f()
 {
-    const char *v = std::getenv("HEROSIGN_DISABLE_AVX2");
-    return v != nullptr && v[0] != '\0' &&
-           !(v[0] == '0' && v[1] == '\0');
+#if defined(HEROSIGN_HAVE_AVX512) &&                                    \
+    (defined(__GNUC__) || defined(__clang__))
+    return __builtin_cpu_supports("avx512f") != 0;
+#else
+    return false;
+#endif
+}
+
+/**
+ * Startup snapshot of both disable variables, taken together on the
+ * first dispatch query so the two ISAs gate off one consistent view
+ * of the environment.
+ */
+struct EnvSnapshot
+{
+    bool disableAvx2;
+    bool disableAvx512;
+};
+
+const EnvSnapshot &
+envSnapshot()
+{
+    static const EnvSnapshot snap{
+        laneEnvFlagEnabled("HEROSIGN_DISABLE_AVX2"),
+        laneEnvFlagEnabled("HEROSIGN_DISABLE_AVX512"),
+    };
+    return snap;
 }
 
 } // namespace
 
 bool
-sha256x8Avx2Compiled()
+laneEnvFlagEnabled(const char *var)
+{
+    const char *v = std::getenv(var);
+    return v != nullptr && v[0] != '\0' &&
+           !(v[0] == '0' && v[1] == '\0');
+}
+
+bool
+sha256LanesAvx2Compiled()
 {
 #ifdef HEROSIGN_HAVE_AVX2
     return true;
@@ -48,84 +81,154 @@ sha256x8Avx2Compiled()
 }
 
 bool
-sha256x8Avx2Supported()
+sha256LanesAvx2Supported()
 {
     static const bool supported = cpuHasAvx2();
-    return sha256x8Avx2Compiled() && supported;
+    return sha256LanesAvx2Compiled() && supported;
 }
 
 bool
-sha256x8Avx2Active()
+sha256LanesAvx512Compiled()
 {
-    static const bool env_disabled = envDisablesAvx2();
-    return sha256x8Avx2Supported() && !env_disabled &&
-           !force_scalar.load(std::memory_order_relaxed);
+#ifdef HEROSIGN_HAVE_AVX512
+    return true;
+#else
+    return false;
+#endif
+}
+
+bool
+sha256LanesAvx512Supported()
+{
+    static const bool supported = cpuHasAvx512f();
+    return sha256LanesAvx512Compiled() && supported;
+}
+
+LaneDispatch
+laneDispatch()
+{
+    const EnvSnapshot &env = envSnapshot();
+    const bool forced = force_scalar.load(std::memory_order_relaxed);
+
+    LaneDispatch d;
+    d.avx2 = sha256LanesAvx2Supported() && !env.disableAvx2 && !forced;
+    // Disabling the narrower ISA implies the wider one is off too
+    // (AVX-512F hardware always has AVX2), so HEROSIGN_DISABLE_AVX2=1
+    // keeps its historical meaning: fully portable lanes. This
+    // mirrors ci.sh's build-gate cascade (AVX2=OFF forces AVX512=OFF).
+    d.avx512 = sha256LanesAvx512Supported() && !env.disableAvx512 &&
+               !env.disableAvx2 && !forced &&
+               !disable_avx512.load(std::memory_order_relaxed);
+    d.backend = d.avx512   ? LaneBackend::Avx512
+                : d.avx2   ? LaneBackend::Avx2
+                           : LaneBackend::Scalar;
+    // The portable path batches 8 wide so scalar-mode hash shapes (and
+    // the compression-count trace) match the historical 8-lane engine.
+    d.width = d.avx512 ? 16u : 8u;
+    return d;
+}
+
+bool
+sha256LanesAvx2Active()
+{
+    return laneDispatch().avx2;
+}
+
+bool
+sha256LanesAvx512Active()
+{
+    return laneDispatch().avx512;
 }
 
 void
-sha256x8ForceScalar(bool force)
+sha256LanesForceScalar(bool force)
 {
     force_scalar.store(force, std::memory_order_relaxed);
 }
 
-Sha256x8::Sha256x8(Sha256Variant variant)
-    : bufLen_(0), total_(0), variant_(variant),
-      useAvx2_(variant == Sha256Variant::Native && sha256x8Avx2Active())
+void
+sha256LanesDisableAvx512(bool disable)
 {
-    for (size_t l = 0; l < lanes; ++l)
+    disable_avx512.store(disable, std::memory_order_relaxed);
+}
+
+Sha256Lanes::Sha256Lanes(unsigned width, Sha256Variant variant)
+    : bufLen_(0), total_(0), width_(width), variant_(variant)
+{
+    if (width_ == 0 || width_ > maxLanes)
+        throw std::invalid_argument("Sha256Lanes: width must be 1..16");
+    const LaneDispatch d = laneDispatch();
+    avx2_ = variant == Sha256Variant::Native && d.avx2;
+    avx512_ = variant == Sha256Variant::Native && d.avx512;
+    for (size_t l = 0; l < width_; ++l)
         h_[l] = initState;
 }
 
-Sha256x8::Sha256x8(const Sha256State &state, Sha256Variant variant)
-    : bufLen_(0), total_(state.bytesCompressed), variant_(variant),
-      useAvx2_(variant == Sha256Variant::Native && sha256x8Avx2Active())
+Sha256Lanes::Sha256Lanes(unsigned width, const Sha256State &state,
+                         Sha256Variant variant)
+    : bufLen_(0), total_(state.bytesCompressed), width_(width),
+      variant_(variant)
 {
+    if (width_ == 0 || width_ > maxLanes)
+        throw std::invalid_argument("Sha256Lanes: width must be 1..16");
     if (state.bytesCompressed % blockSize != 0)
-        throw std::logic_error("Sha256x8: mid-state not block aligned");
-    for (size_t l = 0; l < lanes; ++l)
+        throw std::logic_error("Sha256Lanes: mid-state not block aligned");
+    const LaneDispatch d = laneDispatch();
+    avx2_ = variant == Sha256Variant::Native && d.avx2;
+    avx512_ = variant == Sha256Variant::Native && d.avx512;
+    for (size_t l = 0; l < width_; ++l)
         h_[l] = state.h;
 }
 
 void
-Sha256x8::compressAll(const uint8_t *const blocks[lanes])
+Sha256Lanes::compressAll(const uint8_t *const blocks[])
 {
-    if (useAvx2_) {
-        sha256Compress8Avx2(h_, blocks);
-    } else if (variant_ == Sha256Variant::Native) {
-        for (size_t l = 0; l < lanes; ++l)
+    // Greedy widest-first: 16-wide AVX-512 chunks, then 8-wide AVX2
+    // chunks, then a scalar tail. Any width works on any backend and
+    // every lane's digest is bit-identical regardless of the split.
+    unsigned l = 0;
+    while (avx512_ && width_ - l >= 16) {
+        sha256Compress16Avx512(h_ + l, blocks + l);
+        l += 16;
+    }
+    while (avx2_ && width_ - l >= 8) {
+        sha256Compress8Avx2(h_ + l, blocks + l);
+        l += 8;
+    }
+    for (; l < width_; ++l) {
+        if (variant_ == Sha256Variant::Native)
             sha256CompressNative(h_[l], blocks[l]);
-    } else {
-        for (size_t l = 0; l < lanes; ++l)
+        else
             sha256CompressPtx(h_[l], blocks[l]);
     }
-    // One 8-wide step does the work of eight scalar compressions; keep
+    // One W-wide step does the work of W scalar compressions; keep
     // the global accounting (tests, cost-model calibration) in sync.
-    Sha256::addCompressions(lanes);
+    Sha256::addCompressions(width_);
 }
 
 void
-Sha256x8::compressBuffers()
+Sha256Lanes::compressBuffers()
 {
-    const uint8_t *blocks[lanes];
-    for (size_t l = 0; l < lanes; ++l)
+    const uint8_t *blocks[maxLanes];
+    for (size_t l = 0; l < width_; ++l)
         blocks[l] = buf_[l];
     compressAll(blocks);
 }
 
 void
-Sha256x8::update(const uint8_t *const data[lanes], size_t len)
+Sha256Lanes::update(const uint8_t *const data[], size_t len)
 {
     if (len == 0)
         return;
-    const uint8_t *p[lanes];
-    for (size_t l = 0; l < lanes; ++l)
+    const uint8_t *p[maxLanes];
+    for (size_t l = 0; l < width_; ++l)
         p[l] = data[l];
 
     size_t off = 0;
     total_ += len;
     if (bufLen_ > 0) {
         const size_t take = std::min(blockSize - bufLen_, len);
-        for (size_t l = 0; l < lanes; ++l)
+        for (size_t l = 0; l < width_; ++l)
             std::memcpy(buf_[l] + bufLen_, p[l], take);
         bufLen_ += take;
         off += take;
@@ -135,44 +238,44 @@ Sha256x8::update(const uint8_t *const data[lanes], size_t len)
         }
     }
     while (off + blockSize <= len) {
-        const uint8_t *blocks[lanes];
-        for (size_t l = 0; l < lanes; ++l)
+        const uint8_t *blocks[maxLanes];
+        for (size_t l = 0; l < width_; ++l)
             blocks[l] = p[l] + off;
         compressAll(blocks);
         off += blockSize;
     }
     if (off < len) {
-        for (size_t l = 0; l < lanes; ++l)
+        for (size_t l = 0; l < width_; ++l)
             std::memcpy(buf_[l], p[l] + off, len - off);
         bufLen_ = len - off;
     }
 }
 
 void
-Sha256x8::final(uint8_t *const out[lanes])
+Sha256Lanes::final(uint8_t *const out[])
 {
     const uint64_t bit_len = total_ * 8;
 
     // Padding is identical across lanes since lengths are uniform:
     // 0x80, zeros to 56 mod 64, then the 64-bit bit length.
     size_t r = bufLen_;
-    for (size_t l = 0; l < lanes; ++l)
+    for (size_t l = 0; l < width_; ++l)
         buf_[l][r] = 0x80;
     ++r;
     if (r > blockSize - 8) {
-        for (size_t l = 0; l < lanes; ++l)
+        for (size_t l = 0; l < width_; ++l)
             std::memset(buf_[l] + r, 0, blockSize - r);
         compressBuffers();
         r = 0;
     }
-    for (size_t l = 0; l < lanes; ++l) {
+    for (size_t l = 0; l < width_; ++l) {
         std::memset(buf_[l] + r, 0, blockSize - 8 - r);
         storeBe64(buf_[l] + blockSize - 8, bit_len);
     }
     compressBuffers();
     bufLen_ = 0;
 
-    for (size_t l = 0; l < lanes; ++l)
+    for (size_t l = 0; l < width_; ++l)
         for (int i = 0; i < 8; ++i)
             storeBe32(out[l] + 4 * i, h_[l][i]);
 }
@@ -191,6 +294,24 @@ sha256Final8SeededAvx2(const std::array<uint32_t, 8> &,
 {
     throw std::logic_error(
         "sha256Final8SeededAvx2: AVX2 backend not compiled in");
+}
+#endif
+
+#ifndef HEROSIGN_HAVE_AVX512
+void
+sha256Compress16Avx512(std::array<uint32_t, 8>[16],
+                       const uint8_t *const[16])
+{
+    throw std::logic_error(
+        "sha256Compress16Avx512: AVX-512 backend not compiled in");
+}
+
+void
+sha256Final16SeededAvx512(const std::array<uint32_t, 8> &,
+                          const uint8_t *const[16], uint8_t *const[16])
+{
+    throw std::logic_error(
+        "sha256Final16SeededAvx512: AVX-512 backend not compiled in");
 }
 #endif
 

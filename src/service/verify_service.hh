@@ -4,8 +4,9 @@
  * the other half of serving signature traffic. Requests group by
  * tenant, each group runs through SphincsPlus::verifyBatch so the
  * WOTS+ chain recompute, FORS walks and Merkle root reconstructions
- * fill 8-wide hash lanes across signatures, and all verification
- * reuses warm contexts from the (optionally shared) ContextCache.
+ * fill the dispatched hash-lane width across signatures, and all
+ * verification reuses warm contexts from the (optionally shared)
+ * ContextCache.
  */
 
 #ifndef HEROSIGN_SERVICE_VERIFY_SERVICE_HH
@@ -67,8 +68,8 @@ class VerifyService
     /**
      * Verify a mixed-tenant batch. Results are positional: out[i] is
      * 1 when reqs[i] verified. Requests are grouped by tenant and
-     * each group runs 8 signatures per lane pass; results are
-     * bool-identical to calling verify() per request.
+     * each group runs hashLaneWidth() signatures per lane pass;
+     * results are bool-identical to calling verify() per request.
      */
     std::vector<uint8_t>
     verifyBatch(const std::vector<VerifyRequest> &reqs);

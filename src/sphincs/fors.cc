@@ -52,17 +52,17 @@ forsGenLeaf(uint8_t *out, const Context &ctx, const Address &fors_adrs,
 }
 
 void
-forsGenLeavesX8(uint8_t *out, const Context &ctx, const Address &fors_adrs,
+forsGenLeavesXN(uint8_t *out, const Context &ctx, const Address &fors_adrs,
                 uint32_t idx0, unsigned count)
 {
-    if (count == 0 || count > hashLanes)
+    if (count == 0 || count > maxHashLanes)
         throw std::invalid_argument(
-            "forsGenLeavesX8: count must be 1..8");
+            "forsGenLeavesXN: count must be 1..16");
     const unsigned n = ctx.params().n;
-    uint8_t sks[hashLanes * maxN];
-    Address adrs[hashLanes];
-    uint8_t *outs[hashLanes];
-    const uint8_t *ins[hashLanes];
+    uint8_t sks[maxHashLanes * maxN];
+    Address adrs[maxHashLanes];
+    uint8_t *outs[maxHashLanes];
+    const uint8_t *ins[maxHashLanes];
 
     // Secret leaf values, one PRF batch.
     Address sk_base = fors_adrs;
@@ -74,7 +74,7 @@ forsGenLeavesX8(uint8_t *out, const Context &ctx, const Address &fors_adrs,
         adrs[j].setTreeIndex(idx0 + j);
         outs[j] = sks + static_cast<size_t>(j) * n;
     }
-    prfAddrx8(outs, ctx, adrs, count);
+    prfAddrX(outs, ctx, adrs, count);
 
     // Leaves = F(sk), one batch.
     for (unsigned j = 0; j < count; ++j) {
@@ -84,7 +84,7 @@ forsGenLeavesX8(uint8_t *out, const Context &ctx, const Address &fors_adrs,
         outs[j] = out + static_cast<size_t>(j) * n;
         ins[j] = sks + static_cast<size_t>(j) * n;
     }
-    thashFx8(outs, ctx, adrs, ins, count);
+    thashFX(outs, ctx, adrs, ins, count);
 }
 
 void
@@ -98,26 +98,27 @@ forsSign(uint8_t *sig, uint8_t *pk_out, const uint8_t *mhash,
     uint32_t indices[64];
     messageToIndices(indices, p, mhash);
 
-    // Selected secret values for all k trees, 8 per PRF batch. The
-    // tree-i value lands at the head of its signature block.
+    // Selected secret values for all k trees, one dispatched lane
+    // width per PRF batch. The tree-i value lands at the head of its
+    // signature block.
     {
         Address sk_base = fors_adrs;
         sk_base.setType(AddrType::ForsPrf);
         sk_base.setKeypair(fors_adrs.keypair());
         const size_t sig_stride =
             static_cast<size_t>(p.forsHeight + 1) * n;
-        Address adrs[hashLanes];
-        uint8_t *outs[hashLanes];
-        for (unsigned g = 0; g < p.forsTrees; g += hashLanes) {
-            const unsigned m =
-                std::min(hashLanes, p.forsTrees - g);
+        const unsigned width = hashLaneWidth();
+        Address adrs[maxHashLanes];
+        uint8_t *outs[maxHashLanes];
+        for (unsigned g = 0; g < p.forsTrees; g += width) {
+            const unsigned m = std::min(width, p.forsTrees - g);
             for (unsigned j = 0; j < m; ++j) {
                 adrs[j] = sk_base;
                 adrs[j].setTreeHeight(0);
                 adrs[j].setTreeIndex(indices[g + j] + (g + j) * t);
                 outs[j] = sig + (g + j) * sig_stride;
             }
-            prfAddrx8(outs, ctx, adrs, m);
+            prfAddrX(outs, ctx, adrs, m);
         }
     }
 
@@ -127,13 +128,13 @@ forsSign(uint8_t *sig, uint8_t *pk_out, const uint8_t *mhash,
         sig += n; // selected secret value, written above
 
         // Merkle tree over this subset, rooted at roots[i]; leaves
-        // generated 8 per batch.
+        // generated one lane batch at a time.
         Address tree_adrs = fors_adrs;
         tree_adrs.setType(AddrType::ForsTree);
         tree_adrs.setKeypair(fors_adrs.keypair());
         auto gen_leaves = [&](uint8_t *out, uint32_t leaf_start,
                               uint32_t count) {
-            forsGenLeavesX8(out, ctx, tree_adrs, leaf_start + idx_offset,
+            forsGenLeavesXN(out, ctx, tree_adrs, leaf_start + idx_offset,
                             count);
         };
         treehash(roots + i * n, sig, ctx, indices[i], idx_offset,
@@ -185,41 +186,43 @@ forsPkFromSig(uint8_t *pk_out, const uint8_t *sig, const uint8_t *mhash,
 }
 
 void
-forsPkFromSigX8(uint8_t *const pk_out[], const uint8_t *const sig[],
+forsPkFromSigXN(uint8_t *const pk_out[], const uint8_t *const sig[],
                 const uint8_t *const mhash[], const Context &ctx,
                 const Address fors_adrs[], unsigned count)
 {
-    if (count == 0 || count > hashLanes)
+    if (count == 0 || count > maxHashLanes)
         throw std::invalid_argument(
-            "forsPkFromSigX8: count must be 1..8");
+            "forsPkFromSigXN: count must be 1..16");
     const Params &p = ctx.params();
     const unsigned n = p.n;
     const unsigned k = p.forsTrees;
     const uint32_t t = p.forsLeaves();
     const size_t tree_sig = static_cast<size_t>(p.forsHeight + 1) * n;
 
-    uint32_t indices[hashLanes][64];
+    uint32_t indices[maxHashLanes][64];
     for (unsigned l = 0; l < count; ++l)
         messageToIndices(indices[l], p, mhash[l]);
 
     // Roots land contiguously per lane for the final compression.
-    uint8_t roots[hashLanes][64 * maxN];
+    uint8_t roots[maxHashLanes][64 * maxN];
 
-    // Walk the count * k (lane, tree) pairs in lane groups: the
-    // revealed leaf values hash 8 per F batch, then the group's
-    // auth-path walks climb the shared height a in lockstep.
+    // Walk the count * k (lane, tree) pairs in groups of the
+    // dispatched lane width: the revealed leaf values hash one batch
+    // per group, then the group's auth-path walks climb the shared
+    // height a in lockstep.
+    const unsigned width = hashLaneWidth();
     const unsigned pairs = count * k;
-    uint8_t leaves[hashLanes][maxN];
-    for (unsigned g = 0; g < pairs; g += hashLanes) {
-        const unsigned m = std::min(hashLanes, pairs - g);
-        Address adrs[hashLanes];
-        uint8_t *louts[hashLanes];
-        uint8_t *routs[hashLanes];
-        const uint8_t *lins[hashLanes];
-        const uint8_t *leafp[hashLanes];
-        const uint8_t *auth[hashLanes];
-        uint32_t leaf_idx[hashLanes];
-        uint32_t idx_offset[hashLanes];
+    uint8_t leaves[maxHashLanes][maxN];
+    for (unsigned g = 0; g < pairs; g += width) {
+        const unsigned m = std::min(width, pairs - g);
+        Address adrs[maxHashLanes];
+        uint8_t *louts[maxHashLanes];
+        uint8_t *routs[maxHashLanes];
+        const uint8_t *lins[maxHashLanes];
+        const uint8_t *leafp[maxHashLanes];
+        const uint8_t *auth[maxHashLanes];
+        uint32_t leaf_idx[maxHashLanes];
+        uint32_t idx_offset[maxHashLanes];
 
         for (unsigned j = 0; j < m; ++j) {
             const unsigned l = (g + j) / k;
@@ -240,16 +243,16 @@ forsPkFromSigX8(uint8_t *const pk_out[], const uint8_t *const sig[],
             auth[j] = block + n;
             routs[j] = roots[l] + static_cast<size_t>(i) * n;
         }
-        thashFx8(louts, ctx, adrs, lins, m);
-        // The leaf addresses double as the walk scratch: computeRootX8
+        thashFX(louts, ctx, adrs, lins, m);
+        // The leaf addresses double as the walk scratch: computeRootXN
         // only touches the height/index words the leaf step set.
-        computeRootX8(routs, ctx, leafp, leaf_idx, idx_offset, auth,
+        computeRootXN(routs, ctx, leafp, leaf_idx, idx_offset, auth,
                       p.forsHeight, adrs, m);
     }
 
     // One batched k*n-byte root compression per lane.
-    Address pk_adrs[hashLanes];
-    const uint8_t *ins[hashLanes];
+    Address pk_adrs[maxHashLanes];
+    const uint8_t *ins[maxHashLanes];
     for (unsigned l = 0; l < count; ++l) {
         pk_adrs[l] = fors_adrs[l];
         pk_adrs[l].setType(AddrType::ForsRoots);

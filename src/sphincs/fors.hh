@@ -42,12 +42,12 @@ void forsGenLeaf(uint8_t *out, const Context &ctx,
 
 /**
  * Compute @p count consecutive FORS leaves (absolute indices idx0 ..
- * idx0 + count - 1, count <= 8) into @p out, running the PRF and F
- * calls across 8-lane hash batches. Byte-identical to count
- * forsGenLeaf calls.
+ * idx0 + count - 1, count <= maxHashLanes) into @p out, running the
+ * PRF and F calls across hash-lane batches of the dispatched width.
+ * Byte-identical to count forsGenLeaf calls at every width.
  * @param out count * n bytes
  */
-void forsGenLeavesX8(uint8_t *out, const Context &ctx,
+void forsGenLeavesXN(uint8_t *out, const Context &ctx,
                      const Address &fors_adrs, uint32_t idx0,
                      unsigned count);
 
@@ -72,21 +72,22 @@ void forsPkFromSig(uint8_t *pk_out, const uint8_t *sig,
                    const Address &fors_adrs);
 
 /**
- * Batched verification direction for up to 8 signatures sharing one
- * context: all count * k revealed leaves hash in 8-wide batches and
- * the count * k independent auth-path walks (equal height a) climb in
- * lockstep lanes, followed by one batched root compression per lane.
- * Lanes may select different hypertree positions (per-lane address).
- * Byte-identical to count forsPkFromSig calls.
+ * Batched verification direction for up to maxHashLanes signatures
+ * sharing one context: all count * k revealed leaves hash in batches
+ * of the dispatched lane width and the count * k independent
+ * auth-path walks (equal height a) climb in lockstep lanes, followed
+ * by one batched root compression per lane. Lanes may select
+ * different hypertree positions (per-lane address). Byte-identical to
+ * count forsPkFromSig calls at every width.
  *
  * @param pk_out count pointers to n-byte FORS public keys
  * @param sig count pointers to forsSigBytes() signature blocks
  * @param mhash count pointers to forsMsgBytes() digest prefixes
  * @param fors_adrs count ForsTree-typed addresses with
  *        layer(0)/tree/keypair set
- * @param count active lanes, 1..8
+ * @param count active lanes, 1..maxHashLanes
  */
-void forsPkFromSigX8(uint8_t *const pk_out[], const uint8_t *const sig[],
+void forsPkFromSigXN(uint8_t *const pk_out[], const uint8_t *const sig[],
                      const uint8_t *const mhash[], const Context &ctx,
                      const Address fors_adrs[], unsigned count);
 

@@ -28,11 +28,11 @@ treehash(uint8_t *root, uint8_t *auth_path, const Context &ctx,
     unsigned stack_heights[max_height + 1];
     unsigned sp = 0;
 
-    uint8_t leaf_buf[hashLanes * maxN];
+    uint8_t leaf_buf[maxHashLanes * maxN];
     const uint32_t leaves = 1u << height;
-    for (uint32_t base = 0; base < leaves; base += hashLanes) {
-        const uint32_t batch =
-            std::min<uint32_t>(hashLanes, leaves - base);
+    const uint32_t width = hashLaneWidth();
+    for (uint32_t base = 0; base < leaves; base += width) {
+        const uint32_t batch = std::min<uint32_t>(width, leaves - base);
         gen_leaves(leaf_buf, base, batch);
 
         for (uint32_t b = 0; b < batch; ++b) {
@@ -105,22 +105,23 @@ computeRoot(uint8_t *root, const Context &ctx, const uint8_t *leaf,
 }
 
 void
-computeRootX8(uint8_t *const root[], const Context &ctx,
+computeRootXN(uint8_t *const root[], const Context &ctx,
               const uint8_t *const leaf[], const uint32_t leaf_idx[],
               const uint32_t idx_offset[],
               const uint8_t *const auth_path[], unsigned height,
               Address tree_adrs[], unsigned count)
 {
-    if (count == 0 || count > hashLanes)
-        throw std::invalid_argument("computeRootX8: count must be 1..8");
+    if (count == 0 || count > maxHashLanes)
+        throw std::invalid_argument(
+            "computeRootXN: count must be 1..16");
     const unsigned n = ctx.params().n;
 
     // Current node per lane; the walks advance in lockstep because
     // every lane climbs the same number of levels.
-    uint8_t nodes[hashLanes][maxN];
-    uint8_t pairs[hashLanes][2 * maxN];
-    uint8_t *outs[hashLanes];
-    const uint8_t *ins[hashLanes];
+    uint8_t nodes[maxHashLanes][maxN];
+    uint8_t pairs[maxHashLanes][2 * maxN];
+    uint8_t *outs[maxHashLanes];
+    const uint8_t *ins[maxHashLanes];
     for (unsigned l = 0; l < count; ++l) {
         std::memcpy(nodes[l], leaf[l], n);
         outs[l] = nodes[l];
@@ -151,7 +152,7 @@ void
 wotsGenLeaf(uint8_t *leaf_out, const Context &ctx, uint32_t layer,
             uint64_t tree, uint32_t leaf_idx)
 {
-    wotsPkGenX8(leaf_out, ctx, layer, tree, leaf_idx, 1);
+    wotsPkGenXN(leaf_out, ctx, layer, tree, leaf_idx, 1);
 }
 
 void
@@ -175,7 +176,7 @@ merkleSign(uint8_t *sig, uint8_t *root_out, const Context &ctx,
 
     auto gen_leaves = [&](uint8_t *out, uint32_t leaf_start,
                           uint32_t count) {
-        wotsPkGenX8(out, ctx, layer, tree, leaf_start, count);
+        wotsPkGenXN(out, ctx, layer, tree, leaf_start, count);
     };
     treehash(root_out, sig + p.wotsSigBytes(), ctx, leaf_idx, 0,
              p.treeHeight(), gen_leaves, tree_adrs);

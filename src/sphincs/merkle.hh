@@ -29,7 +29,8 @@ using LeafFn = std::function<void(uint8_t *out, uint32_t leaf_idx)>;
 /**
  * Non-owning reference to a batched leaf generator: a callable
  * producing @p count consecutive leaves (local indices leaf_start ..
- * leaf_start + count - 1, count <= 8) contiguously into @p out. Lets
+ * leaf_start + count - 1, count <= maxHashLanes) contiguously into
+ * @p out. Lets
  * the generator run its hash calls across SIMD lanes (see
  * sphincs/thashx.hh). A lightweight function_ref rather than
  * std::function so the signing hot path never heap-allocates for the
@@ -64,8 +65,9 @@ class BatchLeafRef
 /**
  * Stack-based treehash: computes the root of a 2^height-leaf Merkle
  * tree and the authentication path for @p leaf_idx. The leaf layer is
- * produced 8 leaves per callback so independent leaves fill hash
- * lanes; the node combining above it is inherently serial.
+ * produced hashLaneWidth() leaves per callback so independent leaves
+ * fill the dispatched hash lanes; the node combining above it is
+ * inherently serial.
  *
  * @param root out, n bytes
  * @param auth_path out, height * n bytes (may be nullptr to skip)
@@ -96,19 +98,20 @@ void computeRoot(uint8_t *root, const Context &ctx, const uint8_t *leaf,
                  Address &tree_adrs);
 
 /**
- * Batched root reconstruction: up to 8 independent auth-path walks of
- * one shared @p height advanced level by level in hash lanes. Lane l
- * reconstructs from leaf[l] / auth_path[l] with its own leaf index,
- * index offset and subtree address, so the lanes may come from
- * different FORS trees, different signatures, or both. Results are
- * byte-identical to count computeRoot calls.
+ * Batched root reconstruction: up to maxHashLanes independent
+ * auth-path walks of one shared @p height advanced level by level in
+ * hash lanes of the dispatched width. Lane l reconstructs from
+ * leaf[l] / auth_path[l] with its own leaf index, index offset and
+ * subtree address, so the lanes may come from different FORS trees,
+ * different signatures, or both. Results are byte-identical to count
+ * computeRoot calls at every width.
  *
  * @param root count pointers to n-byte outputs (may alias leaf[l])
  * @param tree_adrs count addresses with layer/tree/type set; the
  *        height/index fields are managed here (the array is scratch)
- * @param count active lanes, 1..8
+ * @param count active lanes, 1..maxHashLanes
  */
-void computeRootX8(uint8_t *const root[], const Context &ctx,
+void computeRootXN(uint8_t *const root[], const Context &ctx,
                    const uint8_t *const leaf[], const uint32_t leaf_idx[],
                    const uint32_t idx_offset[],
                    const uint8_t *const auth_path[], unsigned height,

@@ -131,7 +131,7 @@ SphincsPlus::computePkRoot(ByteSpan sk_seed, ByteSpan pk_seed) const
     ByteVec root(params_.n);
     auto gen_leaves = [&](uint8_t *out, uint32_t leaf_start,
                           uint32_t count) {
-        wotsPkGenX8(out, ctx, top_layer, 0, leaf_start, count);
+        wotsPkGenXN(out, ctx, top_layer, 0, leaf_start, count);
     };
     treehash(root.data(), nullptr, ctx, 0, 0, params_.treeHeight(),
              gen_leaves, tree_adrs);
@@ -301,23 +301,23 @@ namespace
 {
 
 /**
- * Verify up to hashLanes signatures under one public key with every
- * hot loop batched across the lanes: the lanes walk FORS and the d
- * hypertree layers in lockstep (all lanes share the parameter set, so
- * the layer structure is identical even though each lane selects its
- * own subtree chain).
+ * Verify up to maxHashLanes signatures under one public key with
+ * every hot loop batched across the lanes: the lanes walk FORS and
+ * the d hypertree layers in lockstep (all lanes share the parameter
+ * set, so the layer structure is identical even though each lane
+ * selects its own subtree chain).
  */
 void
-verifyGroup8(const Context &ctx, const Params &p, const ByteSpan msgs[],
-             const ByteSpan sigs[], const PublicKey &pk, bool ok[],
-             unsigned count)
+verifyGroupXN(const Context &ctx, const Params &p, const ByteSpan msgs[],
+              const ByteSpan sigs[], const PublicKey &pk, bool ok[],
+              unsigned count)
 {
     const unsigned n = p.n;
 
-    const uint8_t *in[hashLanes];
-    uint64_t idx_tree[hashLanes];
-    uint32_t idx_leaf[hashLanes];
-    ByteVec fors_msgs[hashLanes];
+    const uint8_t *in[maxHashLanes];
+    uint64_t idx_tree[maxHashLanes];
+    uint32_t idx_leaf[maxHashLanes];
+    ByteVec fors_msgs[maxHashLanes];
 
     for (unsigned l = 0; l < count; ++l) {
         in[l] = sigs[l].data();
@@ -333,11 +333,11 @@ verifyGroup8(const Context &ctx, const Params &p, const ByteSpan msgs[],
     }
 
     // FORS, all lanes' k trees batched together.
-    uint8_t roots[hashLanes][maxN];
+    uint8_t roots[maxHashLanes][maxN];
     {
-        Address fors_adrs[hashLanes];
-        uint8_t *root_ptrs[hashLanes];
-        const uint8_t *mhash[hashLanes];
+        Address fors_adrs[maxHashLanes];
+        uint8_t *root_ptrs[maxHashLanes];
+        const uint8_t *mhash[maxHashLanes];
         for (unsigned l = 0; l < count; ++l) {
             fors_adrs[l].setLayer(0);
             fors_adrs[l].setTree(idx_tree[l]);
@@ -346,7 +346,7 @@ verifyGroup8(const Context &ctx, const Params &p, const ByteSpan msgs[],
             root_ptrs[l] = roots[l];
             mhash[l] = fors_msgs[l].data();
         }
-        forsPkFromSigX8(root_ptrs, in, mhash, ctx, fors_adrs, count);
+        forsPkFromSigXN(root_ptrs, in, mhash, ctx, fors_adrs, count);
         for (unsigned l = 0; l < count; ++l)
             in[l] += p.forsSigBytes();
     }
@@ -355,15 +355,15 @@ verifyGroup8(const Context &ctx, const Params &p, const ByteSpan msgs[],
     // so the WOTS+ chain recompute runs count * len ragged chains per
     // layer and the auth-path walks fill lanes across signatures.
     for (uint32_t layer = 0; layer < p.layers; ++layer) {
-        Address wots_adrs[hashLanes];
-        Address tree_adrs[hashLanes];
-        uint8_t leaves[hashLanes][maxN];
-        uint8_t *leaf_ptrs[hashLanes];
-        const uint8_t *leaf_in[hashLanes];
-        const uint8_t *msg_ptrs[hashLanes];
-        const uint8_t *auth[hashLanes];
-        uint8_t *root_ptrs[hashLanes];
-        uint32_t offsets[hashLanes];
+        Address wots_adrs[maxHashLanes];
+        Address tree_adrs[maxHashLanes];
+        uint8_t leaves[maxHashLanes][maxN];
+        uint8_t *leaf_ptrs[maxHashLanes];
+        const uint8_t *leaf_in[maxHashLanes];
+        const uint8_t *msg_ptrs[maxHashLanes];
+        const uint8_t *auth[maxHashLanes];
+        uint8_t *root_ptrs[maxHashLanes];
+        uint32_t offsets[maxHashLanes];
 
         for (unsigned l = 0; l < count; ++l) {
             wots_adrs[l].setLayer(layer);
@@ -373,7 +373,7 @@ verifyGroup8(const Context &ctx, const Params &p, const ByteSpan msgs[],
             leaf_ptrs[l] = leaves[l];
             msg_ptrs[l] = roots[l];
         }
-        wotsPkFromSigX8(leaf_ptrs, in, msg_ptrs, ctx, wots_adrs, count);
+        wotsPkFromSigXN(leaf_ptrs, in, msg_ptrs, ctx, wots_adrs, count);
 
         for (unsigned l = 0; l < count; ++l) {
             in[l] += p.wotsSigBytes();
@@ -385,7 +385,7 @@ verifyGroup8(const Context &ctx, const Params &p, const ByteSpan msgs[],
             root_ptrs[l] = roots[l];
             offsets[l] = 0;
         }
-        computeRootX8(root_ptrs, ctx, leaf_in, idx_leaf, offsets, auth,
+        computeRootXN(root_ptrs, ctx, leaf_in, idx_leaf, offsets, auth,
                       p.treeHeight(), tree_adrs, count);
 
         for (unsigned l = 0; l < count; ++l) {
@@ -442,15 +442,16 @@ SphincsPlus::verifyBatch(const Context &ctx, const ByteSpan msgs[],
             "verifyBatch: context does not match the public key");
 
     // Malformed lengths reject up front; survivors verify in lane
-    // groups of 8.
-    size_t valid[hashLanes];
-    ByteSpan gmsgs[hashLanes];
-    ByteSpan gsigs[hashLanes];
-    bool gok[hashLanes];
+    // groups of the dispatched width (16 on AVX-512, 8 elsewhere).
+    const unsigned width = hashLaneWidth();
+    size_t valid[maxHashLanes];
+    ByteSpan gmsgs[maxHashLanes];
+    ByteSpan gsigs[maxHashLanes];
+    bool gok[maxHashLanes];
     size_t pos = 0;
     while (pos < count) {
         unsigned m = 0;
-        while (pos < count && m < hashLanes) {
+        while (pos < count && m < width) {
             if (sigs[pos].size() != params_.sigBytes()) {
                 ok[pos] = false;
             } else {
@@ -463,7 +464,7 @@ SphincsPlus::verifyBatch(const Context &ctx, const ByteSpan msgs[],
         }
         if (m == 0)
             continue;
-        verifyGroup8(ctx, params_, gmsgs, gsigs, pk, gok, m);
+        verifyGroupXN(ctx, params_, gmsgs, gsigs, pk, gok, m);
         for (unsigned j = 0; j < m; ++j)
             ok[valid[j]] = gok[j];
     }

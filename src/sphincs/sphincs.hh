@@ -133,7 +133,8 @@ class SphincsPlus
      * Batched verification: ok[i] = verify(msgs[i], sigs[i], pk) for
      * i < count, with the hot loops (WOTS+ chain recompute, FORS leaf
      * and auth-path walks, Merkle root reconstruction) advanced across
-     * signatures in 8-wide hash lanes. Results are bool-identical to
+     * signatures in hash lanes of the dispatched width (16 on
+     * AVX-512, 8 elsewhere). Results are bool-identical to
      * the scalar path on every backend; partial lane groups fall back
      * to the scalar hash calls so digests match bit for bit.
      */

@@ -2,8 +2,6 @@
 
 #include <stdexcept>
 
-#include "hash/sha256xN.hh"
-
 namespace herosign::sphincs
 {
 
@@ -20,24 +18,28 @@ constexpr size_t oneBlockMax = Sha256::blockSize - 9;
  * Fused single-block batch: every hot batched call (WOTS chain step,
  * PRF, FORS leaf) hashes adrs_c || input of 22 + n <= 54 bytes on top
  * of the per-keypair mid-state — exactly one padded compression per
- * lane. Building the padded blocks directly and running one 8-wide
- * compression skips the incremental engine entirely; the AVX2 kernel
- * additionally broadcasts the shared mid-state instead of transposing
- * eight copies of it.
+ * lane. Building the padded blocks directly and running the widest
+ * compressions available skips the incremental engine entirely; the
+ * SIMD kernels additionally broadcast the shared mid-state instead of
+ * transposing per-lane copies of it. The batch is consumed greedily:
+ * 16-wide AVX-512 chunks, then 8-wide AVX2 chunks, then scalar lanes
+ * — digests and compression counts are identical for every split.
  */
 void
-thashX8OneBlock(uint8_t *const out[], const Context &ctx,
-                const Address adrs[], const uint8_t *const in[],
-                size_t in_len)
+thashXOneBlock(uint8_t *const out[], const Context &ctx,
+               const Address adrs[], const uint8_t *const in[],
+               size_t in_len, unsigned count)
 {
     const unsigned n = ctx.params().n;
     const Sha256State &mid = ctx.seededState();
     const size_t data_len = Address::compressedSize + in_len;
     const uint64_t bit_len = (mid.bytesCompressed + data_len) * 8;
 
-    uint8_t blocks[hashLanes][Sha256::blockSize];
-    const uint8_t *bptrs[hashLanes];
-    for (unsigned l = 0; l < hashLanes; ++l) {
+    // Cache-line aligned: each lane block is loaded as whole vectors
+    // by the SIMD kernels, so keep every 64-byte block on one line.
+    alignas(64) uint8_t blocks[maxHashLanes][Sha256::blockSize];
+    const uint8_t *bptrs[maxHashLanes];
+    for (unsigned l = 0; l < count; ++l) {
         const auto adrs_c = adrs[l].compressed();
         std::memcpy(blocks[l], adrs_c.data(), Address::compressedSize);
         std::memcpy(blocks[l] + Address::compressedSize, in[l], in_len);
@@ -48,30 +50,34 @@ thashX8OneBlock(uint8_t *const out[], const Context &ctx,
         bptrs[l] = blocks[l];
     }
 
-    const bool avx2 =
-        ctx.variant() == Sha256Variant::Native && sha256x8Avx2Active();
-    if (avx2) {
-        uint8_t digests[hashLanes][Sha256::digestSize];
-        uint8_t *dptrs[hashLanes];
-        for (unsigned l = 0; l < hashLanes; ++l)
-            dptrs[l] = digests[l];
-        sha256Final8SeededAvx2(mid.h, bptrs, dptrs);
-        for (unsigned l = 0; l < hashLanes; ++l)
-            std::memcpy(out[l], digests[l], n);
-    } else {
-        for (unsigned l = 0; l < hashLanes; ++l) {
-            std::array<uint32_t, 8> h = mid.h;
-            if (ctx.variant() == Sha256Variant::Native)
-                sha256CompressNative(h, blocks[l]);
-            else
-                sha256CompressPtx(h, blocks[l]);
-            uint8_t digest[Sha256::digestSize];
-            for (int i = 0; i < 8; ++i)
-                storeBe32(digest + 4 * i, h[i]);
-            std::memcpy(out[l], digest, n);
-        }
+    const LaneDispatch d = laneDispatch();
+    const bool native = ctx.variant() == Sha256Variant::Native;
+    uint8_t digests[maxHashLanes][Sha256::digestSize];
+    uint8_t *dptrs[maxHashLanes];
+    for (unsigned l = 0; l < count; ++l)
+        dptrs[l] = digests[l];
+
+    unsigned l = 0;
+    while (native && d.avx512 && count - l >= 16) {
+        sha256Final16SeededAvx512(mid.h, bptrs + l, dptrs + l);
+        l += 16;
     }
-    Sha256::addCompressions(hashLanes);
+    while (native && d.avx2 && count - l >= 8) {
+        sha256Final8SeededAvx2(mid.h, bptrs + l, dptrs + l);
+        l += 8;
+    }
+    for (; l < count; ++l) {
+        std::array<uint32_t, 8> h = mid.h;
+        if (native)
+            sha256CompressNative(h, blocks[l]);
+        else
+            sha256CompressPtx(h, blocks[l]);
+        for (int i = 0; i < 8; ++i)
+            storeBe32(digests[l] + 4 * i, h[i]);
+    }
+    for (unsigned j = 0; j < count; ++j)
+        std::memcpy(out[j], digests[j], n);
+    Sha256::addCompressions(count);
 }
 
 } // namespace
@@ -80,50 +86,43 @@ void
 thashX(uint8_t *const out[], const Context &ctx, const Address adrs[],
        const uint8_t *const in[], size_t in_len, unsigned count)
 {
-    if (count == 0 || count > hashLanes)
-        throw std::invalid_argument("thashX: count must be 1..8");
+    if (count == 0 || count > maxHashLanes)
+        throw std::invalid_argument("thashX: count must be 1..16");
     const unsigned n = ctx.params().n;
 
-    if (count == hashLanes &&
-        Address::compressedSize + in_len <= oneBlockMax) {
-        thashX8OneBlock(out, ctx, adrs, in, in_len);
+    if (Address::compressedSize + in_len <= oneBlockMax) {
+        thashXOneBlock(out, ctx, adrs, in, in_len, count);
         return;
     }
 
-    if (count == hashLanes) {
-        // Long inputs (e.g. the T_len public-key compression of a
-        // whole leaf's chains): the incremental 8-lane engine.
-        Sha256x8 hasher(ctx.seededState(), ctx.variant());
+    // Long inputs (e.g. the T_len public-key compression of a whole
+    // leaf's chains): the incremental lane engine at exactly the
+    // batch's width — it picks the widest kernels internally.
+    Sha256Lanes hasher(count, ctx.seededState(), ctx.variant());
 
-        std::array<uint8_t, Address::compressedSize> adrs_c[hashLanes];
-        const uint8_t *ptrs[hashLanes];
-        for (unsigned l = 0; l < hashLanes; ++l) {
-            adrs_c[l] = adrs[l].compressed();
-            ptrs[l] = adrs_c[l].data();
-        }
-        hasher.update(ptrs, Address::compressedSize);
-        hasher.update(in, in_len);
-
-        uint8_t digests[hashLanes][Sha256::digestSize];
-        uint8_t *dptrs[hashLanes];
-        for (unsigned l = 0; l < hashLanes; ++l)
-            dptrs[l] = digests[l];
-        hasher.final(dptrs);
-        for (unsigned l = 0; l < hashLanes; ++l)
-            std::memcpy(out[l], digests[l], n);
-        return;
+    std::array<uint8_t, Address::compressedSize> adrs_c[maxHashLanes];
+    const uint8_t *ptrs[maxHashLanes];
+    for (unsigned l = 0; l < count; ++l) {
+        adrs_c[l] = adrs[l].compressed();
+        ptrs[l] = adrs_c[l].data();
     }
+    hasher.update(ptrs, Address::compressedSize);
+    hasher.update(in, in_len);
 
-    // Partial batch: scalar per lane, identical digests and counts.
+    uint8_t digests[maxHashLanes][Sha256::digestSize];
+    uint8_t *dptrs[maxHashLanes];
     for (unsigned l = 0; l < count; ++l)
-        thash(out[l], ctx, adrs[l], ByteSpan(in[l], in_len));
+        dptrs[l] = digests[l];
+    hasher.final(dptrs);
+    for (unsigned l = 0; l < count; ++l)
+        std::memcpy(out[l], digests[l], n);
 }
 
 void
-prfAddrx8(uint8_t *const out[], const Context &ctx, const Address adrs[],
-          unsigned count)
+prfAddrX(uint8_t *const out[], const Context &ctx, const Address adrs[],
+         unsigned count)
 {
-    const uint8_t *ins[hashLanes];
+    const uint8_t *ins[maxHashLanes];
     for (unsigned l = 0; l < count; ++l)
         ins[l] = ctx.skSeed().data();
     thashX(out, ctx, adrs, ins, ctx.params().n, count);

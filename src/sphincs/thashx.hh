@@ -1,22 +1,27 @@
 /**
  * @file
- * Lane-batched SPHINCS+ tweakable hashes: up to 8 independent T/F/PRF
- * calls advanced in lockstep on the 8-lane SHA-256 engine
- * (hash/sha256xN.hh). This is the CPU analogue of HERO-Sign's batched
- * GPU hash calls (paper §III): WOTS+ chains, FORS leaves and Merkle
- * leaf layers are all independent calls of one shape, so they fill
- * SIMD lanes exactly.
+ * Lane-batched SPHINCS+ tweakable hashes: up to maxHashLanes
+ * independent T/F/PRF calls advanced in lockstep on the width-generic
+ * SHA-256 lane engine (hash/sha256xN.hh). This is the CPU analogue of
+ * HERO-Sign's batched GPU hash calls (paper §III): WOTS+ chains, FORS
+ * leaves and Merkle leaf layers are all independent calls of one
+ * shape, so they fill SIMD lanes exactly.
  *
- * Every function takes a lane count `count <= 8`. A full batch of 8
- * runs 8-wide; partial batches fall back to per-lane scalar calls so
- * digests AND Sha256::compressionCount() accounting stay bit-for-bit
- * identical to the scalar path for any count.
+ * Every function takes a lane count `count <= maxHashLanes` and is
+ * width-agnostic: the batch is processed greedily with the widest
+ * active kernels (16-wide AVX-512 chunks, then 8-wide AVX2 chunks,
+ * then scalar lanes), so digests AND Sha256::compressionCount()
+ * accounting stay bit-for-bit identical to the scalar path for any
+ * count on any backend. Callers that choose their own batch size
+ * should fill hashLaneWidth() lanes per pass — the width the
+ * dispatched backend actually executes.
  */
 
 #ifndef HEROSIGN_SPHINCS_THASHX_HH
 #define HEROSIGN_SPHINCS_THASHX_HH
 
 #include "common/bytes.hh"
+#include "hash/sha256xN.hh"
 #include "sphincs/address.hh"
 #include "sphincs/context.hh"
 #include "sphincs/thash.hh"
@@ -24,8 +29,21 @@
 namespace herosign::sphincs
 {
 
-/** Lane width of the batched hash layer. */
-constexpr unsigned hashLanes = 8;
+/** Hard upper bound on the lane count of one batched hash call. */
+constexpr unsigned maxHashLanes =
+    static_cast<unsigned>(maxSha256Lanes);
+
+/**
+ * Lane width of the dispatched backend: 16 with AVX-512 active, 8
+ * otherwise (AVX2 and portable). The natural batch size for the hot
+ * loops — a full batch of this width runs entirely on the widest
+ * kernel.
+ */
+inline unsigned
+hashLaneWidth()
+{
+    return laneDispatch().width;
+}
 
 /**
  * Batched generic tweakable hash: out[l] = T(adrs[l], in[l]) for
@@ -35,7 +53,7 @@ constexpr unsigned hashLanes = 8;
  * @param in count pointers to in_len-byte inputs
  * @param in_len input length shared by all lanes (a multiple of n for
  *        T_l calls, or the PRF message length)
- * @param count active lanes, 1..8; 8 runs the x8 engine
+ * @param count active lanes, 1..maxHashLanes
  *
  * out[l] may alias in[l] (chain steps hash in place).
  */
@@ -45,15 +63,15 @@ void thashX(uint8_t *const out[], const Context &ctx,
 
 /** Batched F: out[l] = F(adrs[l], in[l]), single n-byte inputs. */
 inline void
-thashFx8(uint8_t *const out[], const Context &ctx, const Address adrs[],
-         const uint8_t *const in[], unsigned count)
+thashFX(uint8_t *const out[], const Context &ctx, const Address adrs[],
+        const uint8_t *const in[], unsigned count)
 {
     thashX(out, ctx, adrs, in, ctx.params().n, count);
 }
 
 /** Batched PRF: out[l] = PRF(pk_seed, sk_seed, adrs[l]). */
-void prfAddrx8(uint8_t *const out[], const Context &ctx,
-               const Address adrs[], unsigned count);
+void prfAddrX(uint8_t *const out[], const Context &ctx,
+              const Address adrs[], unsigned count);
 
 } // namespace herosign::sphincs
 

@@ -31,18 +31,22 @@ baseW(uint32_t *out, size_t out_len, const uint8_t *in, unsigned lg_w)
     }
 }
 
-/** Upper bound on chains advanced together: 8 leaves of len chains. */
-constexpr unsigned maxBatchChains = hashLanes * maxWotsLen;
+/**
+ * Upper bound on chains advanced together: maxHashLanes leaves of len
+ * chains.
+ */
+constexpr unsigned maxBatchChains = maxHashLanes * maxWotsLen;
 
 /**
- * Advance @p num independent WOTS+ chains in lockstep lanes of 8.
+ * Advance @p num independent WOTS+ chains in lockstep lanes of the
+ * dispatched width W (hashLaneWidth(): 16 on AVX-512, 8 elsewhere).
  * Chain c steps its value vals[c] (n bytes, in place) from position
  * pos[c] to end[c]; adrs[c] must have layer/tree/type/keypair/chain
  * set (the hash position is managed here). Lanes retire as chains
  * reach their end and are refilled from the pending chains, so lanes
- * stay full while at least 8 chains remain; the ragged tail falls back
- * to scalar calls, keeping digests and compression counts identical
- * to the scalar path.
+ * stay full while at least W chains remain; the ragged tail falls
+ * back to narrower kernels and scalar calls, keeping digests and
+ * compression counts identical to the scalar path.
  */
 void
 advanceChains(uint8_t *const vals[], Address adrs[], uint32_t pos[],
@@ -54,11 +58,12 @@ advanceChains(uint8_t *const vals[], Address adrs[], uint32_t pos[],
         if (pos[c] < end[c])
             active[nactive++] = c;
 
-    Address lane_adrs[hashLanes];
-    uint8_t *outs[hashLanes];
-    const uint8_t *ins[hashLanes];
+    const unsigned width = hashLaneWidth();
+    Address lane_adrs[maxHashLanes];
+    uint8_t *outs[maxHashLanes];
+    const uint8_t *ins[maxHashLanes];
     while (nactive > 0) {
-        const unsigned m = std::min(nactive, hashLanes);
+        const unsigned m = std::min(nactive, width);
         for (unsigned j = 0; j < m; ++j) {
             const unsigned c = active[j];
             adrs[c].setHash(pos[c]);
@@ -66,7 +71,7 @@ advanceChains(uint8_t *const vals[], Address adrs[], uint32_t pos[],
             outs[j] = vals[c];
             ins[j] = vals[c];
         }
-        thashFx8(outs, ctx, lane_adrs, ins, m);
+        thashFX(outs, ctx, lane_adrs, ins, m);
 
         // Retire finished lanes, compacting survivors to the front so
         // pending chains slot in next round.
@@ -84,22 +89,23 @@ advanceChains(uint8_t *const vals[], Address adrs[], uint32_t pos[],
 
 /**
  * Derive the secret chain-start values for chains [0, num) described
- * by @p adrs (WOTS_PRF addresses, hash position 0), 8 lanes per PRF
- * batch, into vals[c].
+ * by @p adrs (WOTS_PRF addresses, hash position 0), one dispatched
+ * lane width per PRF batch, into vals[c].
  */
 void
 deriveChainSks(uint8_t *const vals[], const Address adrs[], unsigned num,
                const Context &ctx)
 {
-    uint8_t *outs[hashLanes];
-    Address lane_adrs[hashLanes];
-    for (unsigned g = 0; g < num; g += hashLanes) {
-        const unsigned m = std::min(hashLanes, num - g);
+    const unsigned width = hashLaneWidth();
+    uint8_t *outs[maxHashLanes];
+    Address lane_adrs[maxHashLanes];
+    for (unsigned g = 0; g < num; g += width) {
+        const unsigned m = std::min(width, num - g);
         for (unsigned j = 0; j < m; ++j) {
             lane_adrs[j] = adrs[g + j];
             outs[j] = vals[g + j];
         }
-        prfAddrx8(outs, ctx, lane_adrs, m);
+        prfAddrX(outs, ctx, lane_adrs, m);
     }
 }
 
@@ -151,11 +157,11 @@ wotsChainSk(uint8_t *out, const Context &ctx, Address &adrs,
 }
 
 void
-wotsPkGenX8(uint8_t *pk_out, const Context &ctx, uint32_t layer,
+wotsPkGenXN(uint8_t *pk_out, const Context &ctx, uint32_t layer,
             uint64_t tree, uint32_t leaf0, unsigned count)
 {
-    if (count == 0 || count > hashLanes)
-        throw std::invalid_argument("wotsPkGenX8: count must be 1..8");
+    if (count == 0 || count > maxHashLanes)
+        throw std::invalid_argument("wotsPkGenXN: count must be 1..16");
     const Params &p = ctx.params();
     const unsigned len = p.wotsLen();
     const unsigned n = p.n;
@@ -197,9 +203,9 @@ wotsPkGenX8(uint8_t *pk_out, const Context &ctx, uint32_t layer,
     advanceChains(vals, adrs, pos, end, total, ctx);
 
     // Compress each leaf's public key, batched across leaves.
-    Address pk_adrs[hashLanes];
-    uint8_t *pks[hashLanes];
-    const uint8_t *ins[hashLanes];
+    Address pk_adrs[maxHashLanes];
+    uint8_t *pks[maxHashLanes];
+    const uint8_t *ins[maxHashLanes];
     for (unsigned j = 0; j < count; ++j) {
         pk_adrs[j].setLayer(layer);
         pk_adrs[j].setTree(tree);
@@ -214,7 +220,7 @@ wotsPkGenX8(uint8_t *pk_out, const Context &ctx, uint32_t layer,
 void
 wotsPkGen(uint8_t *pk_out, const Context &ctx, const Address &leaf_adrs)
 {
-    wotsPkGenX8(pk_out, ctx, leaf_adrs.layer(), leaf_adrs.tree(),
+    wotsPkGenXN(pk_out, ctx, leaf_adrs.layer(), leaf_adrs.tree(),
                 leaf_adrs.keypair(), 1);
 }
 
@@ -257,13 +263,13 @@ wotsSign(uint8_t *sig, const uint8_t *msg, const Context &ctx,
 }
 
 void
-wotsPkFromSigX8(uint8_t *const pk_out[], const uint8_t *const sig[],
+wotsPkFromSigXN(uint8_t *const pk_out[], const uint8_t *const sig[],
                 const uint8_t *const msg[], const Context &ctx,
                 const Address leaf_adrs[], unsigned count)
 {
-    if (count == 0 || count > hashLanes)
+    if (count == 0 || count > maxHashLanes)
         throw std::invalid_argument(
-            "wotsPkFromSigX8: count must be 1..8");
+            "wotsPkFromSigXN: count must be 1..16");
     const Params &p = ctx.params();
     const unsigned len = p.wotsLen();
     const unsigned n = p.n;
@@ -299,8 +305,8 @@ wotsPkFromSigX8(uint8_t *const pk_out[], const uint8_t *const sig[],
     advanceChains(vals, adrs, pos, end, total, ctx);
 
     // One T_len public-key compression per lane, batched.
-    Address pk_adrs[hashLanes];
-    const uint8_t *ins[hashLanes];
+    Address pk_adrs[maxHashLanes];
+    const uint8_t *ins[maxHashLanes];
     for (unsigned l = 0; l < count; ++l) {
         pk_adrs[l] = leaf_adrs[l];
         pk_adrs[l].setType(AddrType::WotsPk);

@@ -56,13 +56,14 @@ void wotsPkGen(uint8_t *pk_out, const Context &ctx,
 /**
  * Compute @p count consecutive WOTS+ compressed public keys (the leaf
  * layer slice starting at keypair @p leaf0) with all count * len hash
- * chains advanced in lockstep 8-lane batches — the hot path of
- * signing (~90% of compressions). Byte-identical to count wotsPkGen
- * calls.
+ * chains advanced in lockstep lane batches of the dispatched width
+ * (16 on AVX-512, 8 elsewhere) — the hot path of signing (~90% of
+ * compressions). Byte-identical to count wotsPkGen calls at every
+ * width.
  * @param pk_out count * n bytes
- * @param count 1..8 leaves
+ * @param count 1..maxHashLanes leaves
  */
-void wotsPkGenX8(uint8_t *pk_out, const Context &ctx, uint32_t layer,
+void wotsPkGenXN(uint8_t *pk_out, const Context &ctx, uint32_t layer,
                  uint64_t tree, uint32_t leaf0, unsigned count);
 
 /**
@@ -81,21 +82,22 @@ void wotsPkFromSig(uint8_t *pk_out, const uint8_t *sig,
                    const Address &leaf_adrs);
 
 /**
- * Recompute up to 8 compressed public keys from signatures in one
- * lockstep pass — the hot loop of batched verification. All
- * count * len ragged chains advance together (lanes retire early and
- * refill), and the final T_len compressions run one per lane. The
- * signatures may sit in different hypertree positions (each lane has
- * its own address) but must share one context / parameter set.
- * Byte-identical to count wotsPkFromSig calls.
+ * Recompute up to maxHashLanes compressed public keys from signatures
+ * in one lockstep pass — the hot loop of batched verification. All
+ * count * len ragged chains advance together in lanes of the
+ * dispatched width (lanes retire early and refill), and the final
+ * T_len compressions run one per lane. The signatures may sit in
+ * different hypertree positions (each lane has its own address) but
+ * must share one context / parameter set. Byte-identical to count
+ * wotsPkFromSig calls at every width.
  *
  * @param pk_out count pointers to n-byte outputs
  * @param sig count pointers to wotsSigBytes() signatures
  * @param msg count pointers to the n-byte signed roots
  * @param leaf_adrs count addresses with layer/tree/keypair set
- * @param count active lanes, 1..8
+ * @param count active lanes, 1..maxHashLanes
  */
-void wotsPkFromSigX8(uint8_t *const pk_out[], const uint8_t *const sig[],
+void wotsPkFromSigXN(uint8_t *const pk_out[], const uint8_t *const sig[],
                      const uint8_t *const msg[], const Context &ctx,
                      const Address leaf_adrs[], unsigned count);
 

@@ -1,10 +1,12 @@
 /**
  * @file
- * Batched tweakable-hash layer tests: thashFx8/prfAddrx8 against the
- * scalar calls (full and partial batches), the batched WOTS+/FORS
- * leaf generators against scalar reconstructions from the remaining
- * scalar building blocks, batched-vs-scalar treehash, and end-to-end
- * sign/verify byte-equality between the AVX2 and portable backends.
+ * Batched tweakable-hash layer tests: thashFX/prfAddrX against the
+ * scalar calls (full, partial and 16-lane batches), the batched
+ * WOTS+/FORS leaf generators against scalar reconstructions from the
+ * remaining scalar building blocks, batched-vs-scalar treehash, and
+ * end-to-end sign/verify byte-equality plus compression-count parity
+ * across the AVX-512 (width 16), AVX2 (width 8) and portable
+ * backends.
  */
 
 #include <gtest/gtest.h>
@@ -39,12 +41,12 @@ TEST(ThashX, FullBatchMatchesScalarF)
     Context ctx = makeContext(p, 1);
     Rng rng(2);
 
-    Address adrs[hashLanes];
-    ByteVec inputs[hashLanes];
-    const uint8_t *ins[hashLanes];
-    uint8_t out[hashLanes][maxN];
-    uint8_t *outs[hashLanes];
-    for (unsigned l = 0; l < hashLanes; ++l) {
+    Address adrs[maxHashLanes];
+    ByteVec inputs[maxHashLanes];
+    const uint8_t *ins[maxHashLanes];
+    uint8_t out[maxHashLanes][maxN];
+    uint8_t *outs[maxHashLanes];
+    for (unsigned l = 0; l < maxHashLanes; ++l) {
         adrs[l].setLayer(l);
         adrs[l].setTree(100 + l);
         adrs[l].setType(AddrType::WotsHash);
@@ -54,9 +56,9 @@ TEST(ThashX, FullBatchMatchesScalarF)
         ins[l] = inputs[l].data();
         outs[l] = out[l];
     }
-    thashFx8(outs, ctx, adrs, ins, hashLanes);
+    thashFX(outs, ctx, adrs, ins, maxHashLanes);
 
-    for (unsigned l = 0; l < hashLanes; ++l) {
+    for (unsigned l = 0; l < maxHashLanes; ++l) {
         uint8_t expected[maxN];
         thashF(expected, ctx, adrs[l], inputs[l].data());
         EXPECT_EQ(hexEncode(ByteSpan(out[l], p.n)),
@@ -71,12 +73,14 @@ TEST(ThashX, PartialBatchesMatchScalar)
     Context ctx = makeContext(p, 3);
     Rng rng(4);
 
-    for (unsigned count = 1; count <= hashLanes; ++count) {
-        Address adrs[hashLanes];
-        ByteVec inputs[hashLanes];
-        const uint8_t *ins[hashLanes];
-        uint8_t out[hashLanes][maxN];
-        uint8_t *outs[hashLanes];
+    // Every count 1..16 crosses all greedy-split shapes: pure scalar
+    // tails, one 8-wide chunk + tail, and the full 16-wide kernel.
+    for (unsigned count = 1; count <= maxHashLanes; ++count) {
+        Address adrs[maxHashLanes];
+        ByteVec inputs[maxHashLanes];
+        const uint8_t *ins[maxHashLanes];
+        uint8_t out[maxHashLanes][maxN];
+        uint8_t *outs[maxHashLanes];
         for (unsigned l = 0; l < count; ++l) {
             adrs[l].setType(AddrType::ForsTree);
             adrs[l].setTreeIndex(count * 100 + l);
@@ -84,7 +88,7 @@ TEST(ThashX, PartialBatchesMatchScalar)
             ins[l] = inputs[l].data();
             outs[l] = out[l];
         }
-        thashFx8(outs, ctx, adrs, ins, count);
+        thashFX(outs, ctx, adrs, ins, count);
         for (unsigned l = 0; l < count; ++l) {
             uint8_t expected[maxN];
             thashF(expected, ctx, adrs[l], inputs[l].data());
@@ -95,34 +99,71 @@ TEST(ThashX, PartialBatchesMatchScalar)
     }
 }
 
+TEST(ThashX, BatchCompressionCountsMatchScalar)
+{
+    const Params &p = Params::sphincs128f();
+    Context ctx = makeContext(p, 29);
+    Rng rng(30);
+
+    for (unsigned count : {1u, 7u, 8u, 9u, 16u}) {
+        Address adrs[maxHashLanes];
+        ByteVec inputs[maxHashLanes];
+        const uint8_t *ins[maxHashLanes];
+        uint8_t out[maxHashLanes][maxN];
+        uint8_t *outs[maxHashLanes];
+        for (unsigned l = 0; l < count; ++l) {
+            adrs[l].setType(AddrType::WotsHash);
+            adrs[l].setChain(l);
+            inputs[l] = rng.bytes(p.n);
+            ins[l] = inputs[l].data();
+            outs[l] = out[l];
+        }
+
+        Sha256::resetCompressionCount();
+        for (unsigned l = 0; l < count; ++l) {
+            uint8_t expected[maxN];
+            thashF(expected, ctx, adrs[l], inputs[l].data());
+        }
+        const uint64_t scalar_count = Sha256::compressionCount();
+
+        Sha256::resetCompressionCount();
+        thashFX(outs, ctx, adrs, ins, count);
+        EXPECT_EQ(Sha256::compressionCount(), scalar_count)
+            << "count " << count;
+    }
+}
+
 TEST(ThashX, LongInputBatchMatchesScalarThash)
 {
     const Params &p = Params::sphincs256f();
     Context ctx = makeContext(p, 5);
     Rng rng(6);
 
-    // WOTS pk compression shape: len * n input per lane.
+    // WOTS pk compression shape: len * n input per lane, at both SIMD
+    // widths and a ragged width.
     const size_t in_len = static_cast<size_t>(p.wotsLen()) * p.n;
-    Address adrs[hashLanes];
-    ByteVec inputs[hashLanes];
-    const uint8_t *ins[hashLanes];
-    uint8_t out[hashLanes][maxN];
-    uint8_t *outs[hashLanes];
-    for (unsigned l = 0; l < hashLanes; ++l) {
-        adrs[l].setType(AddrType::WotsPk);
-        adrs[l].setKeypair(l);
-        inputs[l] = rng.bytes(in_len);
-        ins[l] = inputs[l].data();
-        outs[l] = out[l];
-    }
-    thashX(outs, ctx, adrs, ins, in_len, hashLanes);
+    for (unsigned count : {8u, 13u, 16u}) {
+        Address adrs[maxHashLanes];
+        ByteVec inputs[maxHashLanes];
+        const uint8_t *ins[maxHashLanes];
+        uint8_t out[maxHashLanes][maxN];
+        uint8_t *outs[maxHashLanes];
+        for (unsigned l = 0; l < count; ++l) {
+            adrs[l].setType(AddrType::WotsPk);
+            adrs[l].setKeypair(l);
+            inputs[l] = rng.bytes(in_len);
+            ins[l] = inputs[l].data();
+            outs[l] = out[l];
+        }
+        thashX(outs, ctx, adrs, ins, in_len, count);
 
-    for (unsigned l = 0; l < hashLanes; ++l) {
-        uint8_t expected[maxN];
-        thash(expected, ctx, adrs[l], inputs[l]);
-        EXPECT_EQ(hexEncode(ByteSpan(out[l], p.n)),
-                  hexEncode(ByteSpan(expected, p.n)))
-            << "lane " << l;
+        for (unsigned l = 0; l < count; ++l) {
+            uint8_t expected[maxN];
+            thash(expected, ctx, adrs[l], inputs[l]);
+            EXPECT_EQ(hexEncode(ByteSpan(out[l], p.n)),
+                      hexEncode(ByteSpan(expected, p.n)))
+                << "count " << count << " lane " << l;
+        }
     }
 }
 
@@ -131,23 +172,37 @@ TEST(ThashX, PrfBatchMatchesScalar)
     const Params &p = Params::sphincs128f();
     Context ctx = makeContext(p, 7);
 
-    Address adrs[hashLanes];
-    uint8_t out[hashLanes][maxN];
-    uint8_t *outs[hashLanes];
-    for (unsigned l = 0; l < hashLanes; ++l) {
+    Address adrs[maxHashLanes];
+    uint8_t out[maxHashLanes][maxN];
+    uint8_t *outs[maxHashLanes];
+    for (unsigned l = 0; l < maxHashLanes; ++l) {
         adrs[l].setType(AddrType::WotsPrf);
         adrs[l].setKeypair(3);
         adrs[l].setChain(l);
         outs[l] = out[l];
     }
-    prfAddrx8(outs, ctx, adrs, hashLanes);
+    prfAddrX(outs, ctx, adrs, maxHashLanes);
 
-    for (unsigned l = 0; l < hashLanes; ++l) {
+    for (unsigned l = 0; l < maxHashLanes; ++l) {
         uint8_t expected[maxN];
         prfAddr(expected, ctx, adrs[l]);
         EXPECT_EQ(hexEncode(ByteSpan(out[l], p.n)),
                   hexEncode(ByteSpan(expected, p.n)));
     }
+}
+
+TEST(ThashX, RejectsBadCounts)
+{
+    const Params &p = Params::sphincs128f();
+    Context ctx = makeContext(p, 8);
+    Address adrs[1];
+    uint8_t buf[maxN];
+    uint8_t *outs[1] = {buf};
+    const uint8_t *ins[1] = {buf};
+    EXPECT_THROW(thashX(outs, ctx, adrs, ins, p.n, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(thashX(outs, ctx, adrs, ins, p.n, maxHashLanes + 1),
+                 std::invalid_argument);
 }
 
 /**
@@ -190,7 +245,7 @@ scalarWotsLeaf(uint8_t *pk_out, const Context &ctx, uint32_t layer,
     thash(pk_out, ctx, pk_adrs, ByteSpan(chains, len * n));
 }
 
-TEST(BatchedLeaves, WotsPkGenX8MatchesScalarComposition)
+TEST(BatchedLeaves, WotsPkGenXNMatchesScalarComposition)
 {
     for (const Params *pp : {&Params::sphincs128f(),
                              &Params::sphincs192f(),
@@ -200,9 +255,9 @@ TEST(BatchedLeaves, WotsPkGenX8MatchesScalarComposition)
         const uint32_t layer = 1, leaf0 = 4;
         const uint64_t tree = 77;
 
-        for (unsigned count : {1u, 3u, 8u}) {
+        for (unsigned count : {1u, 3u, 8u, 11u, 16u}) {
             std::vector<uint8_t> pks(count * p.n);
-            wotsPkGenX8(pks.data(), ctx, layer, tree, leaf0, count);
+            wotsPkGenXN(pks.data(), ctx, layer, tree, leaf0, count);
             for (unsigned j = 0; j < count; ++j) {
                 uint8_t expected[maxN];
                 scalarWotsLeaf(expected, ctx, layer, tree, leaf0 + j);
@@ -214,7 +269,7 @@ TEST(BatchedLeaves, WotsPkGenX8MatchesScalarComposition)
     }
 }
 
-TEST(BatchedLeaves, ForsGenLeavesX8MatchesScalar)
+TEST(BatchedLeaves, ForsGenLeavesXNMatchesScalar)
 {
     const Params &p = Params::sphincs128f();
     Context ctx = makeContext(p, 13);
@@ -225,9 +280,9 @@ TEST(BatchedLeaves, ForsGenLeavesX8MatchesScalar)
     fors_adrs.setType(AddrType::ForsTree);
     fors_adrs.setKeypair(9);
 
-    for (unsigned count : {1u, 5u, 8u}) {
+    for (unsigned count : {1u, 5u, 8u, 13u, 16u}) {
         std::vector<uint8_t> leaves(count * p.n);
-        forsGenLeavesX8(leaves.data(), ctx, fors_adrs, 40, count);
+        forsGenLeavesXN(leaves.data(), ctx, fors_adrs, 40, count);
         for (unsigned j = 0; j < count; ++j) {
             uint8_t expected[maxN];
             forsGenLeaf(expected, ctx, fors_adrs, 40 + j);
@@ -267,6 +322,7 @@ TEST(BatchedTreehash, BatchedAndScalarLeafFnAgree)
     adrs_b.setType(AddrType::Tree);
     uint8_t root_b[maxN], auth_b[maxTreeHeight * maxN];
     auto gen_batch = [&](uint8_t *out, uint32_t start, uint32_t count) {
+        EXPECT_LE(count, hashLaneWidth());
         for (uint32_t j = 0; j < count; ++j) {
             auto leaf = leaf_bytes(start + j);
             std::memcpy(out + j * p.n, leaf.data(), p.n);
@@ -293,32 +349,96 @@ TEST(BatchedTreehash, RejectsOversizedHeight)
                  std::invalid_argument);
 }
 
-TEST(BackendEquivalence, SignaturesByteIdenticalAcrossBackends)
+/**
+ * Sign/keygen under a specific lane configuration, returning the
+ * signature, pk root and compression count of the sign() call.
+ */
+struct ModeResult
 {
+    ByteVec sig;
+    ByteVec pkRoot;
+    uint64_t signCompressions;
+    bool verified;
+};
+
+ModeResult
+runMode(const Params &p, const ByteVec &seed, const ByteVec &msg,
+        bool scalar, bool no_avx512)
+{
+    SphincsPlus scheme(p);
+    sha256LanesForceScalar(scalar);
+    sha256LanesDisableAvx512(no_avx512);
+    auto kp = scheme.keygenFromSeed(seed);
+    Sha256::resetCompressionCount();
+    ModeResult r;
+    r.sig = scheme.sign(msg, kp.sk);
+    r.signCompressions = Sha256::compressionCount();
+    r.pkRoot = ByteVec(kp.pk.pkRoot.begin(), kp.pk.pkRoot.end());
+    r.verified = scheme.verify(msg, r.sig, kp.pk);
+    sha256LanesForceScalar(false);
+    sha256LanesDisableAvx512(false);
+    return r;
+}
+
+TEST(BackendEquivalence, SignaturesByteIdenticalAcrossAllWidths)
+{
+    // Cross-width byte-identity on every Table I set: the scalar
+    // path, the width-8 path (AVX-512 disabled) and the full
+    // dispatched path (width 16 where the host supports it) must
+    // produce identical keys, identical signatures, identical verify
+    // verdicts and identical compression counts.
     for (const Params *pp : {&Params::sphincs128f(),
                              &Params::sphincs192f(),
                              &Params::sphincs256f()}) {
-        SphincsPlus scheme(*pp);
+        const Params &p = *pp;
         Rng rng(23);
-        ByteVec seed = rng.bytes(3 * pp->n);
+        ByteVec seed = rng.bytes(3 * p.n);
         ByteVec msg = rng.bytes(57);
 
-        auto kp = scheme.keygenFromSeed(seed);
-        ByteVec sig_auto = scheme.sign(msg, kp.sk);
+        ModeResult scalar = runMode(p, seed, msg, true, false);
+        ModeResult x8 = runMode(p, seed, msg, false, true);
+        ModeResult widest = runMode(p, seed, msg, false, false);
 
-        sha256x8ForceScalar(true);
-        auto kp_scalar = scheme.keygenFromSeed(seed);
-        ByteVec sig_scalar = scheme.sign(msg, kp_scalar.sk);
-        const bool verify_scalar = scheme.verify(msg, sig_auto, kp.pk);
-        sha256x8ForceScalar(false);
-
-        EXPECT_EQ(hexEncode(kp.pk.pkRoot), hexEncode(kp_scalar.pk.pkRoot))
-            << pp->name;
-        EXPECT_EQ(hexEncode(sig_auto), hexEncode(sig_scalar))
-            << pp->name;
-        EXPECT_TRUE(verify_scalar) << pp->name;
-        EXPECT_TRUE(scheme.verify(msg, sig_auto, kp.pk)) << pp->name;
+        EXPECT_EQ(hexEncode(scalar.pkRoot), hexEncode(x8.pkRoot))
+            << p.name;
+        EXPECT_EQ(hexEncode(scalar.pkRoot), hexEncode(widest.pkRoot))
+            << p.name;
+        EXPECT_EQ(hexEncode(scalar.sig), hexEncode(x8.sig)) << p.name;
+        EXPECT_EQ(hexEncode(scalar.sig), hexEncode(widest.sig))
+            << p.name;
+        EXPECT_TRUE(scalar.verified) << p.name;
+        EXPECT_TRUE(x8.verified) << p.name;
+        EXPECT_TRUE(widest.verified) << p.name;
+        EXPECT_EQ(scalar.signCompressions, x8.signCompressions)
+            << p.name;
+        EXPECT_EQ(scalar.signCompressions, widest.signCompressions)
+            << p.name;
     }
+}
+
+TEST(BackendEquivalence, CrossBackendVerifyAgrees)
+{
+    // A signature produced at the widest dispatch verifies on the
+    // scalar path and vice versa.
+    const Params &p = Params::sphincs128f();
+    SphincsPlus scheme(p);
+    Rng rng(27);
+    ByteVec seed = rng.bytes(3 * p.n);
+    ByteVec msg = rng.bytes(33);
+
+    auto kp = scheme.keygenFromSeed(seed);
+    ByteVec sig_auto = scheme.sign(msg, kp.sk);
+
+    sha256LanesForceScalar(true);
+    auto kp_scalar = scheme.keygenFromSeed(seed);
+    ByteVec sig_scalar = scheme.sign(msg, kp_scalar.sk);
+    const bool verify_scalar = scheme.verify(msg, sig_auto, kp.pk);
+    sha256LanesForceScalar(false);
+
+    EXPECT_EQ(hexEncode(kp.pk.pkRoot), hexEncode(kp_scalar.pk.pkRoot));
+    EXPECT_EQ(hexEncode(sig_auto), hexEncode(sig_scalar));
+    EXPECT_TRUE(verify_scalar);
+    EXPECT_TRUE(scheme.verify(msg, sig_scalar, kp.pk));
 }
 
 } // namespace
