@@ -22,10 +22,18 @@
  * The sign-routing section drives one SignService over T tenants and
  * reports throughput plus the context-cache counters proving the hot
  * path constructs no per-sign Context (misses == tenants).
+ *
+ * The traffic-fabric section drives a SignService/VerifyService pair
+ * sharing one cache, stats registry and admission controller with
+ * mixed traffic, in a closed loop (one request in flight per
+ * producer) and an open loop (burst submit), reporting per-plane
+ * throughput and p50/p95/p99 latency.
  */
 
+#include <algorithm>
 #include <memory>
 #include <thread>
+#include <utility>
 
 #include "bench_util.hh"
 #include "common/random.hh"
@@ -99,6 +107,42 @@ batchVerifyUs(const SphincsPlus &scheme, const Context &ctx,
         if (!ok[i])
             std::abort();
     return us;
+}
+
+/** q-quantile (0..1) of @p lat_us, in milliseconds. */
+double
+percentileMs(std::vector<double> lat_us, double q)
+{
+    if (lat_us.empty())
+        return 0.0;
+    std::sort(lat_us.begin(), lat_us.end());
+    const size_t idx = static_cast<size_t>(
+        q * static_cast<double>(lat_us.size() - 1) + 0.5);
+    return lat_us[idx] / 1000.0;
+}
+
+/** Add one row per plane with throughput and latency percentiles. */
+void
+addLatencyRows(TextTable &table, const std::string &set,
+               const std::string &mode, double wall_us,
+               const std::vector<std::vector<double>> &sign_lat,
+               const std::vector<std::vector<double>> &verify_lat)
+{
+    const std::pair<const char *,
+                    const std::vector<std::vector<double>> *>
+        planes[] = {{"sign", &sign_lat}, {"verify", &verify_lat}};
+    for (const auto &[plane, shards] : planes) {
+        std::vector<double> lat;
+        for (const auto &v : *shards)
+            lat.insert(lat.end(), v.begin(), v.end());
+        const double rate =
+            wall_us > 0 ? lat.size() * 1e6 / wall_us : 0.0;
+        table.addRow({set, mode, plane, std::to_string(lat.size()),
+                      fmtF(wall_us / 1000.0), fmtF(rate, 1),
+                      fmtF(percentileMs(lat, 0.50)),
+                      fmtF(percentileMs(lat, 0.95)),
+                      fmtF(percentileMs(lat, 0.99))});
+    }
 }
 
 } // namespace
@@ -228,5 +272,118 @@ main(int argc, char **argv)
          "the run: == tenants when the hot path is construction-free; "
          "hardware threads: " +
              std::to_string(std::thread::hardware_concurrency()));
+
+    // --- Mixed sign+verify through the unified traffic fabric ---
+    // One SignService/VerifyService pair shares the warm context
+    // cache, stats registry and admission controller. Closed loop:
+    // each producer keeps exactly one request in flight, alternating
+    // planes — the latency view. Open loop: the whole batch bursts in
+    // up front and completions are stamped in submission order — the
+    // throughput view.
+    std::vector<std::pair<ByteVec, ByteVec>> vpool;
+    for (unsigned t = 0; t < tenants; ++t) {
+        ByteVec m = rng.bytes(32);
+        ByteVec s = scheme.sign(
+            m, store.find(std::string("tenant-").append(
+                              std::to_string(t)))
+                   ->sk);
+        vpool.emplace_back(std::move(m), std::move(s));
+    }
+
+    TextTable mt({"set", "mode", "plane", "requests", "wall ms",
+                  "ops/s", "p50 ms", "p95 ms", "p99 ms"});
+    const unsigned producers = 2;
+    const unsigned per_producer = msgs_per_set;
+
+    ServiceConfig mcfg;
+    mcfg.workers = 2;
+    mcfg.shards = 2;
+    mcfg.verifyWorkers = 2;
+    mcfg.verifyShards = 2;
+    {
+        SignService ssvc(store, mcfg);
+        VerifyService vsvc(store, mcfg, ssvc.contextCache(),
+                           ssvc.statsRegistry(), ssvc.admission());
+        std::vector<std::vector<double>> sign_lat(producers);
+        std::vector<std::vector<double>> verify_lat(producers);
+        const double t0 = nowUs();
+        std::vector<std::thread> ts;
+        for (unsigned t = 0; t < producers; ++t) {
+            ts.emplace_back([&, t] {
+                Rng trng(0xfab0 + t);
+                for (unsigned i = 0; i < per_producer; ++i) {
+                    const unsigned tenant = (t + i) % tenants;
+                    const std::string id =
+                        std::string("tenant-").append(
+                            std::to_string(tenant));
+                    const double s0 = nowUs();
+                    if (i % 2 == 0) {
+                        ssvc.submitSign(id, trng.bytes(32)).get();
+                        sign_lat[t].push_back(nowUs() - s0);
+                    } else {
+                        vsvc.submitVerify(id, vpool[tenant].first,
+                                          vpool[tenant].second)
+                            .get();
+                        verify_lat[t].push_back(nowUs() - s0);
+                    }
+                }
+            });
+        }
+        for (auto &th : ts)
+            th.join();
+        const double wall = nowUs() - t0;
+        ssvc.drain();
+        vsvc.drain();
+        addLatencyRows(mt, p.name, "closed", wall, sign_lat,
+                       verify_lat);
+    }
+    {
+        SignService ssvc(store, mcfg);
+        VerifyService vsvc(store, mcfg, ssvc.contextCache(),
+                           ssvc.statsRegistry(), ssvc.admission());
+        struct Pending
+        {
+            double submitUs;
+            std::future<ByteVec> sign;
+            std::future<bool> verify;
+        };
+        std::vector<Pending> pend;
+        pend.reserve(producers * per_producer);
+        const double t0 = nowUs();
+        for (unsigned i = 0; i < producers * per_producer; ++i) {
+            const unsigned tenant = i % tenants;
+            const std::string id = std::string("tenant-").append(
+                std::to_string(tenant));
+            Pending pd;
+            pd.submitUs = nowUs();
+            if (i % 2 == 0)
+                pd.sign = ssvc.submitSign(id, rng.bytes(32));
+            else
+                pd.verify = vsvc.submitVerify(id, vpool[tenant].first,
+                                              vpool[tenant].second);
+            pend.push_back(std::move(pd));
+        }
+        // Stamp completions in submission order: each latency spans
+        // queueing + coalescing + the lane-parallel pass.
+        std::vector<std::vector<double>> sign_lat(1), verify_lat(1);
+        for (auto &pd : pend) {
+            if (pd.sign.valid()) {
+                pd.sign.get();
+                sign_lat[0].push_back(nowUs() - pd.submitUs);
+            } else {
+                pd.verify.get();
+                verify_lat[0].push_back(nowUs() - pd.submitUs);
+            }
+        }
+        const double wall = nowUs() - t0;
+        ssvc.drain();
+        vsvc.drain();
+        addLatencyRows(mt, p.name, "open", wall, sign_lat, verify_lat);
+    }
+    emit(opt, "Mixed sign+verify traffic fabric", mt,
+         "closed loop: " + std::to_string(producers) +
+             " producers, one request in flight each; open loop: "
+             "burst submit, completions stamped in submission order; "
+             "shared cache/stats/admission across both planes");
     return 0;
 }

@@ -29,7 +29,6 @@ using core::SignEngine;
 using service::KeyStore;
 using service::ServiceConfig;
 using service::SignService;
-using service::VerifyRequest;
 using service::VerifyService;
 using sphincs::Params;
 using sphincs::SphincsPlus;
@@ -88,9 +87,11 @@ main(int argc, char **argv)
     cfg.shards = cfg.workers;
     cfg.contextCacheCapacity = tenants;
     SignService sign_svc(store, cfg);
-    // The verifier shares the signer's warm contexts and stats.
-    VerifyService verify_svc(store, sign_svc.contextCache(),
-                             sign_svc.statsRegistry());
+    // The verifier shares the signer's warm contexts, stats registry
+    // and admission controller: one traffic fabric for both planes.
+    VerifyService verify_svc(store, cfg, sign_svc.contextCache(),
+                             sign_svc.statsRegistry(),
+                             sign_svc.admission());
 
     // Build the transaction batch, round-robin across validators.
     std::vector<ByteVec> msgs;
@@ -115,21 +116,21 @@ main(int argc, char **argv)
     sign_svc.drain();
     auto sign_stats = sign_svc.stats();
 
-    // The whole block verifies through the batched lane-parallel
-    // path, grouped per validator, one lane-width of signatures
-    // per pass.
-    std::vector<VerifyRequest> reqs;
-    reqs.reserve(count);
+    // The whole block verifies through the async verify plane: each
+    // future resolves when a verify worker has coalesced queued
+    // requests into lane-filling per-validator groups.
+    std::vector<std::future<bool>> vfuts;
+    vfuts.reserve(count);
     for (unsigned i = 0; i < count; ++i)
-        reqs.push_back(VerifyRequest{signer_of[i], ByteSpan(msgs[i]),
-                                     ByteSpan(sigs[i])});
-    auto ok = verify_svc.verifyBatch(reqs);
+        vfuts.push_back(
+            verify_svc.submitVerify(signer_of[i], msgs[i], sigs[i]));
     for (unsigned i = 0; i < count; ++i) {
-        if (!ok[i]) {
+        if (!vfuts[i].get()) {
             std::cerr << "tx " << i << ": verification FAILED\n";
             return 1;
         }
     }
+    verify_svc.drain();
     auto verify_stats = verify_svc.stats();
 
     std::cout << "signed+verified " << count << " transactions from "

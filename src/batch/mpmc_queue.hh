@@ -17,6 +17,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -49,7 +50,8 @@ class ShardedMpmcQueue
 
     /**
      * Enqueue @p item on the next shard in round-robin order and wake
-     * one consumer waiting on that shard.
+     * one consumer waiting on that shard (or, when none is parked
+     * there, one parked on a sibling shard, which will steal it).
      * @throws std::runtime_error after close()
      */
     void
@@ -68,16 +70,25 @@ class ShardedMpmcQueue
             if (s.closed)
                 throw std::runtime_error("push on closed queue");
             s.q.push_back(std::move(item));
-            size_.fetch_add(1, std::memory_order_release);
+            // seq_cst: one half of the Dekker pair with pop()'s
+            // register-waiter-then-recheck — either the parking
+            // consumer's occupancy re-check sees this item, or the
+            // waiter scan below sees that consumer registered.
+            size_.fetch_add(1, std::memory_order_seq_cst);
         }
         s.cv.notify_one();
-        if (s.waiters.load(std::memory_order_acquire) == 0) {
+        if (s.waiters.load(std::memory_order_seq_cst) == 0) {
             // Nobody parked on the target shard: hand the wakeup to
             // a consumer idling on a sibling, which will steal it.
-            // (Missed races fall back to the consumers' timed wait.)
             for (auto &t : shards_) {
                 if (t.get() != &s &&
-                    t->waiters.load(std::memory_order_acquire) > 0) {
+                    t->waiters.load(std::memory_order_seq_cst) > 0) {
+                    // Notify under the sibling's lock: a registered
+                    // waiter holds its shard mutex from registration
+                    // until the wait atomically releases it, so this
+                    // notify cannot land in the gap between the two
+                    // and get lost.
+                    std::lock_guard<std::mutex> g(t->m);
                     t->cv.notify_one();
                     break;
                 }
@@ -129,13 +140,26 @@ class ShardedMpmcQueue
                     return false;
                 continue;
             }
-            // Bounded wait so a steal opportunity on a sibling shard
-            // is noticed even without a notification on this one.
-            h.waiters.fetch_add(1, std::memory_order_release);
-            h.cv.wait_for(lk, backoff);
-            h.waiters.fetch_sub(1, std::memory_order_release);
-            backoff = std::min<std::chrono::microseconds>(
-                backoff * 2, max_backoff);
+            // Park protocol: register as a waiter BEFORE the final
+            // occupancy re-check (the other half of push()'s Dekker
+            // pair). A producer either publishes its size_ increment
+            // before our re-check — we skip the wait and re-scan — or
+            // it observes waiters > 0 and notifies under the shard
+            // lock, which cannot happen before our wait because we
+            // hold the lock from registration until wait_for
+            // atomically releases it. Either way an accepted item is
+            // consumed without eating a full backoff timeout.
+            h.waiters.fetch_add(1, std::memory_order_seq_cst);
+            if (parkProbe)
+                parkProbe();
+            if (size_.load(std::memory_order_seq_cst) == 0) {
+                // Bounded wait so a steal opportunity on a sibling
+                // shard is noticed even without a notification here.
+                h.cv.wait_for(lk, backoff);
+                backoff = std::min<std::chrono::microseconds>(
+                    backoff * 2, max_backoff);
+            }
+            h.waiters.fetch_sub(1, std::memory_order_relaxed);
         }
     }
 
@@ -190,6 +214,16 @@ class ShardedMpmcQueue
     {
         return steals_.load(std::memory_order_relaxed);
     }
+
+    /**
+     * Test-only seam: invoked by pop() after it registers as a waiter
+     * and before it re-checks occupancy, i.e. inside the historical
+     * lost-wakeup window. Lets a regression test inject a push at the
+     * exact instant the race used to strike. Must be set before any
+     * consumer runs; the hook runs with the home shard's mutex held,
+     * so it must not touch that shard. Never set in production.
+     */
+    std::function<void()> parkProbe;
 
   private:
     struct Shard

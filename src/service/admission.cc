@@ -1,0 +1,70 @@
+#include "service/admission.hh"
+
+namespace herosign::service
+{
+
+void
+AdmissionController::admit(Plane plane, TenantCounters &tc,
+                           const std::string &tenant_id)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    uint64_t &plane_pending =
+        plane == Plane::Sign ? pendingSign_ : pendingVerify_;
+    const uint64_t plane_cap = plane == Plane::Sign
+                                   ? lim_.maxPendingSign
+                                   : lim_.maxPendingVerify;
+    if (plane_cap > 0 && plane_pending >= plane_cap) {
+        if (plane == Plane::Sign)
+            throw ServiceOverload(
+                ServiceOverload::Kind::SignCap,
+                "sign plane: " + std::to_string(plane_cap) +
+                    " jobs already pending");
+        throw ServiceOverload(ServiceOverload::Kind::VerifyCap,
+                              "verify plane: " +
+                                  std::to_string(plane_cap) +
+                                  " jobs already pending");
+    }
+    if (lim_.maxPendingTotal > 0 &&
+        pendingSign_ + pendingVerify_ >= lim_.maxPendingTotal)
+        throw ServiceOverload(ServiceOverload::Kind::TotalCap,
+                              "traffic fabric: " +
+                                  std::to_string(lim_.maxPendingTotal) +
+                                  " jobs already pending across planes");
+    if (lim_.maxPendingPerTenant > 0 &&
+        tc.pending.load(std::memory_order_relaxed) >=
+            lim_.maxPendingPerTenant)
+        throw ServiceOverload(
+            ServiceOverload::Kind::TenantQuota,
+            "tenant '" + tenant_id + "': quota of " +
+                std::to_string(lim_.maxPendingPerTenant) +
+                " pending jobs reached");
+    ++plane_pending;
+    tc.pending.fetch_add(1, std::memory_order_relaxed);
+}
+
+void
+AdmissionController::release(Plane plane, TenantCounters &tc,
+                             uint64_t count)
+{
+    std::lock_guard<std::mutex> lk(m_);
+    uint64_t &plane_pending =
+        plane == Plane::Sign ? pendingSign_ : pendingVerify_;
+    plane_pending -= count;
+    tc.pending.fetch_sub(count, std::memory_order_relaxed);
+}
+
+uint64_t
+AdmissionController::pending(Plane plane) const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return plane == Plane::Sign ? pendingSign_ : pendingVerify_;
+}
+
+uint64_t
+AdmissionController::pendingTotal() const
+{
+    std::lock_guard<std::mutex> lk(m_);
+    return pendingSign_ + pendingVerify_;
+}
+
+} // namespace herosign::service

@@ -4,12 +4,16 @@
  * VerifyService write per-tenant counters into one shared
  * StatsRegistry, so a single snapshot answers the admission-control
  * questions — queue depth, jobs in flight, per-tenant signing rate,
- * verify failures — across both traffic directions.
+ * verify failures — across both traffic directions. A ServiceStats
+ * carries both planes' fields; a SignService/VerifyService pair
+ * sharing one registry merges into one fabric-wide snapshot via
+ * mergedWith().
  */
 
 #ifndef HEROSIGN_SERVICE_SERVICE_STATS_HH
 #define HEROSIGN_SERVICE_SERVICE_STATS_HH
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -36,8 +40,11 @@ struct TenantStats
     uint64_t signsSubmitted = 0;
     uint64_t signsCompleted = 0;  ///< successful signatures
     uint64_t signFailures = 0;    ///< sign jobs that threw
-    uint64_t verifies = 0;        ///< verification attempts
+    uint64_t verifiesSubmitted = 0; ///< verify requests admitted
+    uint64_t verifies = 0;        ///< verification attempts completed
     uint64_t verifyRejects = 0;   ///< verifications returning false
+    uint64_t verifyFailures = 0;  ///< verify jobs that threw
+    uint64_t pending = 0;         ///< admitted, not yet completed
     double sigsPerSec = 0;        ///< completed / epoch wall clock
 };
 
@@ -45,17 +52,84 @@ struct TenantStats
 struct ServiceStats
 {
     uint64_t queueDepth = 0;     ///< jobs waiting in the sign queue
-    uint64_t inFlight = 0;       ///< submitted and not yet completed
+    uint64_t inFlight = 0;       ///< sign submitted, not yet completed
     uint64_t signsSubmitted = 0;
     uint64_t signsCompleted = 0;
     uint64_t signFailures = 0;
     uint64_t signsRejected = 0;  ///< refused by admission control
-    uint64_t verifies = 0;
-    uint64_t verifyRejects = 0;
+
+    uint64_t verifyQueueDepth = 0; ///< jobs waiting in the verify queue
+    uint64_t verifyInFlight = 0;   ///< verify submitted, not completed
+    uint64_t verifiesSubmitted = 0; ///< sync + async requests accepted
+    uint64_t verifies = 0;          ///< attempts with a verdict
+    uint64_t verifyRejects = 0;     ///< false verdicts (incl. unknown)
+    uint64_t verifyFailures = 0;    ///< verify jobs that threw
+    uint64_t verifiesRejected = 0;  ///< refused by admission control
+    /// Requests for unregistered key ids: they reject and count in
+    /// the globals but never create registry entries, so this is the
+    /// exact difference between `verifies` and the per-tenant sums.
+    uint64_t unknownTenantRejects = 0;
+
     double wallUs = 0;           ///< first submit -> last completion
     double sigsPerSec = 0;
+    double verifiesPerSec = 0;
     CacheStats cache;
     std::map<std::string, TenantStats> tenants;
+
+    /**
+     * Merge this snapshot with @p other into one fabric-wide view.
+     * Intended for a SignService/VerifyService pair sharing one
+     * ContextCache and StatsRegistry: plane-specific counters add
+     * (each plane's fields are non-zero in only one input), while
+     * per-tenant and cache counters — snapshots of the *same* shared
+     * state taken instants apart — take the field-wise maximum (the
+     * larger value is the later read of a monotonic counter).
+     */
+    ServiceStats
+    mergedWith(const ServiceStats &other) const
+    {
+        ServiceStats m = *this;
+        m.queueDepth += other.queueDepth;
+        m.inFlight += other.inFlight;
+        m.signsSubmitted += other.signsSubmitted;
+        m.signsCompleted += other.signsCompleted;
+        m.signFailures += other.signFailures;
+        m.signsRejected += other.signsRejected;
+        m.verifyQueueDepth += other.verifyQueueDepth;
+        m.verifyInFlight += other.verifyInFlight;
+        m.verifiesSubmitted += other.verifiesSubmitted;
+        m.verifies += other.verifies;
+        m.verifyRejects += other.verifyRejects;
+        m.verifyFailures += other.verifyFailures;
+        m.verifiesRejected += other.verifiesRejected;
+        m.unknownTenantRejects += other.unknownTenantRejects;
+        m.wallUs = std::max(wallUs, other.wallUs);
+        m.sigsPerSec = std::max(sigsPerSec, other.sigsPerSec);
+        m.verifiesPerSec =
+            std::max(verifiesPerSec, other.verifiesPerSec);
+        if (other.cache.hits + other.cache.misses >
+            m.cache.hits + m.cache.misses)
+            m.cache = other.cache;
+        for (const auto &[id, t] : other.tenants) {
+            TenantStats &dst = m.tenants[id];
+            dst.signsSubmitted =
+                std::max(dst.signsSubmitted, t.signsSubmitted);
+            dst.signsCompleted =
+                std::max(dst.signsCompleted, t.signsCompleted);
+            dst.signFailures =
+                std::max(dst.signFailures, t.signFailures);
+            dst.verifiesSubmitted =
+                std::max(dst.verifiesSubmitted, t.verifiesSubmitted);
+            dst.verifies = std::max(dst.verifies, t.verifies);
+            dst.verifyRejects =
+                std::max(dst.verifyRejects, t.verifyRejects);
+            dst.verifyFailures =
+                std::max(dst.verifyFailures, t.verifyFailures);
+            dst.pending = std::max(dst.pending, t.pending);
+            dst.sigsPerSec = std::max(dst.sigsPerSec, t.sigsPerSec);
+        }
+        return m;
+    }
 };
 
 /** Live per-tenant counters; pointer-stable once created. */
@@ -64,8 +138,14 @@ struct TenantCounters
     std::atomic<uint64_t> signsSubmitted{0};
     std::atomic<uint64_t> signsCompleted{0};
     std::atomic<uint64_t> signFailures{0};
+    std::atomic<uint64_t> verifiesSubmitted{0};
     std::atomic<uint64_t> verifies{0};
     std::atomic<uint64_t> verifyRejects{0};
+    std::atomic<uint64_t> verifyFailures{0};
+    /// Jobs admitted and not yet completed across both planes — the
+    /// value the per-tenant quota is enforced against (see
+    /// AdmissionController).
+    std::atomic<uint64_t> pending{0};
 };
 
 /**
@@ -102,8 +182,11 @@ class StatsRegistry
             t.signsSubmitted = c->signsSubmitted.load();
             t.signsCompleted = c->signsCompleted.load();
             t.signFailures = c->signFailures.load();
+            t.verifiesSubmitted = c->verifiesSubmitted.load();
             t.verifies = c->verifies.load();
             t.verifyRejects = c->verifyRejects.load();
+            t.verifyFailures = c->verifyFailures.load();
+            t.pending = c->pending.load();
             if (wall_us > 0)
                 t.sigsPerSec = t.signsCompleted * 1e6 / wall_us;
             out.emplace(id, t);

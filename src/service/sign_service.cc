@@ -5,13 +5,18 @@ namespace herosign::service
 
 SignService::SignService(KeyStore &store, const ServiceConfig &config,
                          std::shared_ptr<ContextCache> cache,
-                         std::shared_ptr<StatsRegistry> stats)
+                         std::shared_ptr<StatsRegistry> stats,
+                         std::shared_ptr<AdmissionController> admission)
     : store_(store), config_(config),
       cache_(cache ? std::move(cache)
                    : std::make_shared<ContextCache>(
                          config.contextCacheCapacity, config.variant)),
       statsReg_(stats ? std::move(stats)
                       : std::make_shared<StatsRegistry>()),
+      admission_(admission
+                     ? std::move(admission)
+                     : std::make_shared<AdmissionController>(
+                           AdmissionLimits::fromConfig(config))),
       queue_(config.shards == 0 ? 1 : config.shards)
 {
     const unsigned n = config.workers == 0 ? 1 : config.workers;
@@ -56,20 +61,19 @@ SignService::submitSign(const std::string &key_id, ByteVec msg,
         throw std::invalid_argument(
             "SignService: opt_rand must be n bytes");
 
-    // Admission control is a hard cap: both counters only move under
-    // drainM_, so checking and claiming the slot inside one critical
-    // section closes the check-then-act race between producers.
+    // Admission is the shared fabric's hard cap: the controller
+    // checks every limit (plane cap, shared budget, tenant quota)
+    // and claims the slot inside one critical section, closing the
+    // check-then-act race between producers on both planes.
+    TenantCounters &tc = statsReg_->tenant(key_id);
+    try {
+        admission_->admit(Plane::Sign, tc, key_id);
+    } catch (const ServiceOverload &) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        throw;
+    }
     {
         std::lock_guard<std::mutex> lk(drainM_);
-        if (config_.maxPending > 0 &&
-            submitted_.load(std::memory_order_relaxed) -
-                    completed_.load(std::memory_order_relaxed) >=
-                config_.maxPending) {
-            rejected_.fetch_add(1, std::memory_order_relaxed);
-            throw ServiceOverload("SignService: " +
-                                  std::to_string(config_.maxPending) +
-                                  " jobs already pending");
-        }
         if (!epochOpen_) {
             epochOpen_ = true;
             epochStart_ = std::chrono::steady_clock::now();
@@ -78,9 +82,9 @@ SignService::submitSign(const std::string &key_id, ByteVec msg,
     }
 
     // The slot is claimed: any failure from here to a successful
-    // enqueue must complete it, or drain() would wait forever.
+    // enqueue must complete it and return the budget, or drain()
+    // would wait forever.
     try {
-        TenantCounters &tc = statsReg_->tenant(key_id);
         tc.signsSubmitted.fetch_add(1, std::memory_order_relaxed);
         Task task;
         // Route once at admission: the worker hot path reuses the
@@ -96,8 +100,8 @@ SignService::submitSign(const std::string &key_id, ByteVec msg,
         failures_.fetch_add(1, std::memory_order_relaxed);
         // Keep the per-tenant identity submitted == completed +
         // failures intact: the job will never reach a worker.
-        statsReg_->tenant(key_id).signFailures.fetch_add(
-            1, std::memory_order_relaxed);
+        tc.signFailures.fetch_add(1, std::memory_order_relaxed);
+        admission_->release(Plane::Sign, tc);
         {
             std::lock_guard<std::mutex> lk(drainM_);
             completed_.fetch_add(1, std::memory_order_release);
@@ -128,6 +132,7 @@ SignService::workerLoop(unsigned id)
             task.promise.set_exception(std::current_exception());
         }
         task.warm.reset(); // release the context pin promptly
+        admission_->release(Plane::Sign, *task.tenant);
         {
             std::lock_guard<std::mutex> lk(drainM_);
             completed_.fetch_add(1, std::memory_order_release);

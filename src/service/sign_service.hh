@@ -22,33 +22,13 @@
 #include <vector>
 
 #include "batch/mpmc_queue.hh"
+#include "service/admission.hh"
 #include "service/context_cache.hh"
 #include "service/key_store.hh"
 #include "service/service_stats.hh"
 
 namespace herosign::service
 {
-
-/** Thrown when admission control refuses a submit. */
-class ServiceOverload : public std::runtime_error
-{
-  public:
-    explicit ServiceOverload(const std::string &what)
-        : std::runtime_error(what)
-    {
-    }
-};
-
-/** Construction-time knobs shared by the serving-layer services. */
-struct ServiceConfig
-{
-    unsigned workers = 4;  ///< sign worker threads (clamped to >= 1)
-    unsigned shards = 4;   ///< queue shards (clamped to >= 1)
-    size_t contextCacheCapacity = 64; ///< warm per-key contexts kept
-    /// Reject submits once this many jobs are pending (0 = unbounded).
-    uint64_t maxPending = 0;
-    Sha256Variant variant = Sha256Variant::Native;
-};
 
 /**
  * Multi-tenant signing service over a KeyStore.
@@ -69,11 +49,15 @@ class SignService
      *                one sized by the config
      * @param stats   optional shared per-tenant stats registry;
      *                nullptr builds a private one
+     * @param admission  optional shared admission controller (pass a
+     *                VerifyService's for one fabric-wide budget);
+     *                nullptr builds a private one from the config
      */
-    explicit SignService(KeyStore &store,
-                         const ServiceConfig &config = {},
-                         std::shared_ptr<ContextCache> cache = nullptr,
-                         std::shared_ptr<StatsRegistry> stats = nullptr);
+    explicit SignService(
+        KeyStore &store, const ServiceConfig &config = {},
+        std::shared_ptr<ContextCache> cache = nullptr,
+        std::shared_ptr<StatsRegistry> stats = nullptr,
+        std::shared_ptr<AdmissionController> admission = nullptr);
     ~SignService();
 
     SignService(const SignService &) = delete;
@@ -117,6 +101,11 @@ class SignService
         return statsReg_;
     }
 
+    const std::shared_ptr<AdmissionController> &admission() const
+    {
+        return admission_;
+    }
+
     KeyStore &keyStore() const { return store_; }
 
   private:
@@ -141,6 +130,7 @@ class SignService
     ServiceConfig config_;
     std::shared_ptr<ContextCache> cache_;
     std::shared_ptr<StatsRegistry> statsReg_;
+    std::shared_ptr<AdmissionController> admission_;
     batch::ShardedMpmcQueue<Task> queue_;
     std::vector<std::unique_ptr<Worker>> workers_;
 

@@ -3,20 +3,64 @@
 #include <map>
 #include <stdexcept>
 
+#include "sphincs/thashx.hh"
+
 namespace herosign::service
 {
 
-VerifyService::VerifyService(KeyStore &store,
-                             std::shared_ptr<ContextCache> cache,
-                             std::shared_ptr<StatsRegistry> stats,
-                             size_t cache_capacity, Sha256Variant variant)
-    : store_(store),
-      cache_(cache ? std::move(cache)
-                   : std::make_shared<ContextCache>(cache_capacity,
-                                                    variant)),
-      statsReg_(stats ? std::move(stats)
-                      : std::make_shared<StatsRegistry>())
+namespace
 {
+
+/// Auto coalescing window: a few lane widths, so a chunk drained from
+/// the queue by one worker can fill whole lane groups for several
+/// tenants at once without starving sibling workers.
+constexpr unsigned kCoalesceLaneFactor = 4;
+
+} // namespace
+
+VerifyService::VerifyService(
+    KeyStore &store, const ServiceConfig &config,
+    std::shared_ptr<ContextCache> cache,
+    std::shared_ptr<StatsRegistry> stats,
+    std::shared_ptr<AdmissionController> admission)
+    : store_(store), config_(config),
+      cache_(cache ? std::move(cache)
+                   : std::make_shared<ContextCache>(
+                         config.contextCacheCapacity, config.variant)),
+      statsReg_(stats ? std::move(stats)
+                      : std::make_shared<StatsRegistry>()),
+      admission_(admission
+                     ? std::move(admission)
+                     : std::make_shared<AdmissionController>(
+                           AdmissionLimits::fromConfig(config))),
+      queue_(config.verifyShards == 0 ? 1 : config.verifyShards),
+      coalesce_(config.verifyCoalesce > 0
+                    ? config.verifyCoalesce
+                    : kCoalesceLaneFactor * sphincs::hashLaneWidth())
+{
+    const unsigned n =
+        config.verifyWorkers == 0 ? 1 : config.verifyWorkers;
+    workers_.reserve(n);
+    try {
+        for (unsigned i = 0; i < n; ++i)
+            workers_.emplace_back([this, i] { workerLoop(i); });
+    } catch (...) {
+        queue_.close();
+        for (auto &w : workers_) {
+            if (w.joinable())
+                w.join();
+        }
+        throw;
+    }
+}
+
+VerifyService::~VerifyService()
+{
+    queue_.close();
+    for (auto &w : workers_) {
+        if (w.joinable())
+            w.join();
+    }
 }
 
 bool
@@ -27,10 +71,58 @@ VerifyService::verify(const std::string &key_id, ByteSpan msg,
     return verifyBatch({req})[0] != 0;
 }
 
+void
+VerifyService::openEpochAndCountSubmitted(uint64_t count)
+{
+    std::lock_guard<std::mutex> lk(epochM_);
+    if (!epochOpen_) {
+        epochOpen_ = true;
+        epochStart_ = std::chrono::steady_clock::now();
+    }
+    submitted_.fetch_add(count, std::memory_order_relaxed);
+}
+
+void
+VerifyService::noteCompletion(uint64_t count)
+{
+    {
+        std::lock_guard<std::mutex> lk(epochM_);
+        completed_.fetch_add(count, std::memory_order_release);
+        lastCompletion_ = std::chrono::steady_clock::now();
+    }
+    drainCv_.notify_all();
+}
+
+std::vector<uint8_t>
+VerifyService::runGroup(const WarmContext &warm, TenantCounters &tc,
+                        const std::vector<ByteSpan> &msgs,
+                        const std::vector<ByteSpan> &sigs)
+{
+    auto flags =
+        warm.scheme.verifyBatch(warm.ctx, msgs, sigs, warm.key->pk);
+    const uint64_t n = msgs.size();
+    verifies_.fetch_add(n, std::memory_order_relaxed);
+    tc.verifies.fetch_add(n, std::memory_order_relaxed);
+    uint64_t group_rejects = 0;
+    for (uint8_t f : flags) {
+        if (!f)
+            ++group_rejects;
+    }
+    if (group_rejects > 0) {
+        tc.verifyRejects.fetch_add(group_rejects,
+                                   std::memory_order_relaxed);
+        rejects_.fetch_add(group_rejects, std::memory_order_relaxed);
+    }
+    return flags;
+}
+
 std::vector<uint8_t>
 VerifyService::verifyBatch(const std::vector<VerifyRequest> &reqs)
 {
     std::vector<uint8_t> out(reqs.size(), 0);
+    if (reqs.empty())
+        return out;
+    openEpochAndCountSubmitted(reqs.size());
 
     // Group request indices by tenant, preserving submission order
     // within each group so lanes fill deterministically.
@@ -40,16 +132,21 @@ VerifyService::verifyBatch(const std::vector<VerifyRequest> &reqs)
 
     for (const auto &[key_id, idxs] : by_key) {
         auto key = store_.find(key_id);
-        verifies_.fetch_add(idxs.size(), std::memory_order_relaxed);
         if (!key) {
             // Unknown tenant: every request rejects. Only the global
             // counters record it — creating registry entries for
             // attacker-supplied ids would grow memory without bound.
+            verifies_.fetch_add(idxs.size(),
+                                std::memory_order_relaxed);
             rejects_.fetch_add(idxs.size(), std::memory_order_relaxed);
+            unknownRejects_.fetch_add(idxs.size(),
+                                      std::memory_order_relaxed);
+            noteCompletion(idxs.size());
             continue;
         }
         TenantCounters &tc = statsReg_->tenant(key_id);
-        tc.verifies.fetch_add(idxs.size(), std::memory_order_relaxed);
+        tc.verifiesSubmitted.fetch_add(idxs.size(),
+                                       std::memory_order_relaxed);
 
         auto warm = cache_->acquire(key);
         std::vector<ByteSpan> msgs(idxs.size());
@@ -58,20 +155,10 @@ VerifyService::verifyBatch(const std::vector<VerifyRequest> &reqs)
             msgs[j] = reqs[idxs[j]].msg;
             sigs[j] = reqs[idxs[j]].sig;
         }
-        auto flags = warm->scheme.verifyBatch(warm->ctx, msgs, sigs,
-                                              warm->key->pk);
-        uint64_t group_rejects = 0;
-        for (size_t j = 0; j < idxs.size(); ++j) {
+        auto flags = runGroup(*warm, tc, msgs, sigs);
+        for (size_t j = 0; j < idxs.size(); ++j)
             out[idxs[j]] = flags[j];
-            if (!flags[j])
-                ++group_rejects;
-        }
-        if (group_rejects > 0) {
-            tc.verifyRejects.fetch_add(group_rejects,
-                                       std::memory_order_relaxed);
-            rejects_.fetch_add(group_rejects,
-                               std::memory_order_relaxed);
-        }
+        noteCompletion(idxs.size());
     }
     return out;
 }
@@ -91,12 +178,153 @@ VerifyService::verifyBatch(const std::string &key_id,
     return verifyBatch(reqs);
 }
 
+std::future<bool>
+VerifyService::submitVerify(const std::string &key_id, ByteVec msg,
+                            ByteVec sig)
+{
+    auto key = store_.find(key_id);
+    if (!key) {
+        // Reject-not-throw, mirroring the synchronous path: a bad key
+        // id is data. Resolved inline — no admission budget consumed,
+        // nothing queued, no registry entry created.
+        std::promise<bool> p;
+        auto fut = p.get_future();
+        openEpochAndCountSubmitted(1);
+        verifies_.fetch_add(1, std::memory_order_relaxed);
+        rejects_.fetch_add(1, std::memory_order_relaxed);
+        unknownRejects_.fetch_add(1, std::memory_order_relaxed);
+        noteCompletion(1);
+        p.set_value(false);
+        return fut;
+    }
+
+    TenantCounters &tc = statsReg_->tenant(key_id);
+    try {
+        admission_->admit(Plane::Verify, tc, key_id);
+    } catch (const ServiceOverload &) {
+        rejected_.fetch_add(1, std::memory_order_relaxed);
+        throw;
+    }
+
+    // The slot is claimed: any failure from here to a successful
+    // enqueue must complete the request and return the budget, or
+    // drain() would wait forever.
+    try {
+        openEpochAndCountSubmitted(1);
+        tc.verifiesSubmitted.fetch_add(1, std::memory_order_relaxed);
+        Task task;
+        // Route once at admission: workers verify with shared
+        // immutable warm state only.
+        task.warm = cache_->acquire(key);
+        task.tenant = &tc;
+        task.msg = std::move(msg);
+        task.sig = std::move(sig);
+        auto fut = task.promise.get_future();
+        queue_.push(std::move(task));
+        return fut;
+    } catch (...) {
+        failures_.fetch_add(1, std::memory_order_relaxed);
+        tc.verifyFailures.fetch_add(1, std::memory_order_relaxed);
+        admission_->release(Plane::Verify, tc);
+        noteCompletion(1);
+        throw;
+    }
+}
+
+void
+VerifyService::workerLoop(unsigned id)
+{
+    const unsigned home = id % queue_.shards();
+    std::vector<Task> chunk;
+    Task task;
+    while (queue_.pop(task, home)) {
+        chunk.clear();
+        chunk.push_back(std::move(task));
+        // Lane-filling coalescing: opportunistically drain the queue
+        // up to the coalescing window so the per-tenant groups below
+        // reach the dispatched lane width even when tenants
+        // interleave in the arrival order.
+        Task extra;
+        while (chunk.size() < coalesce_ && queue_.tryPop(extra, home))
+            chunk.push_back(std::move(extra));
+        processChunk(chunk);
+    }
+}
+
+void
+VerifyService::processChunk(std::vector<Task> &chunk)
+{
+    // Group by warm context rather than tenant id: a mid-flight key
+    // rotation can put two different contexts for one id in the same
+    // chunk, and each request must verify under the context it was
+    // admitted with.
+    std::map<const WarmContext *, std::vector<size_t>> groups;
+    for (size_t i = 0; i < chunk.size(); ++i)
+        groups[chunk[i].warm.get()].push_back(i);
+
+    for (auto &[warm, idxs] : groups) {
+        TenantCounters &tc = *chunk[idxs[0]].tenant;
+        std::vector<ByteSpan> msgs(idxs.size());
+        std::vector<ByteSpan> sigs(idxs.size());
+        for (size_t j = 0; j < idxs.size(); ++j) {
+            msgs[j] = ByteSpan(chunk[idxs[j]].msg);
+            sigs[j] = ByteSpan(chunk[idxs[j]].sig);
+        }
+        try {
+            auto flags = runGroup(*warm, tc, msgs, sigs);
+            for (size_t j = 0; j < idxs.size(); ++j)
+                chunk[idxs[j]].promise.set_value(flags[j] != 0);
+        } catch (...) {
+            failures_.fetch_add(idxs.size(),
+                                std::memory_order_relaxed);
+            tc.verifyFailures.fetch_add(idxs.size(),
+                                        std::memory_order_relaxed);
+            for (size_t j = 0; j < idxs.size(); ++j)
+                chunk[idxs[j]].promise.set_exception(
+                    std::current_exception());
+        }
+        for (size_t j = 0; j < idxs.size(); ++j)
+            chunk[idxs[j]].warm.reset(); // release context pins
+        admission_->release(Plane::Verify, tc, idxs.size());
+        noteCompletion(idxs.size());
+    }
+}
+
+void
+VerifyService::drain()
+{
+    std::unique_lock<std::mutex> lk(epochM_);
+    drainCv_.wait(lk, [&] {
+        return completed_.load(std::memory_order_acquire) ==
+               submitted_.load(std::memory_order_acquire);
+    });
+}
+
 ServiceStats
 VerifyService::stats() const
 {
     ServiceStats st;
+    // Completed loads before submitted so verifyInFlight cannot
+    // underflow (a request never completes before it is accepted).
+    st.verifyFailures = failures_.load(std::memory_order_relaxed);
     st.verifies = verifies_.load(std::memory_order_relaxed);
+    const uint64_t done = completed_.load(std::memory_order_acquire);
+    st.verifiesSubmitted = submitted_.load(std::memory_order_acquire);
+    st.verifyInFlight = st.verifiesSubmitted - done;
+    st.verifiesRejected = rejected_.load(std::memory_order_relaxed);
     st.verifyRejects = rejects_.load(std::memory_order_relaxed);
+    st.unknownTenantRejects =
+        unknownRejects_.load(std::memory_order_relaxed);
+    st.verifyQueueDepth = queue_.sizeApprox();
+    {
+        std::lock_guard<std::mutex> lk(epochM_);
+        if (epochOpen_ && done > 0)
+            st.wallUs = std::chrono::duration<double, std::micro>(
+                            lastCompletion_ - epochStart_)
+                            .count();
+    }
+    st.verifiesPerSec =
+        st.wallUs > 0 ? st.verifies * 1e6 / st.wallUs : 0.0;
     st.cache = cache_->stats();
     st.tenants = statsReg_->snapshot();
     return st;

@@ -1,22 +1,40 @@
 /**
  * @file
  * VerifyService: the batched, multi-tenant verification front end —
- * the other half of serving signature traffic. Requests group by
- * tenant, each group runs through SphincsPlus::verifyBatch so the
- * WOTS+ chain recompute, FORS walks and Merkle root reconstructions
- * fill the dispatched hash-lane width across signatures, and all
- * verification reuses warm contexts from the (optionally shared)
- * ContextCache.
+ * the other half of serving signature traffic. Two paths share one
+ * set of warm contexts and counters:
+ *
+ *  - the synchronous path (verify / verifyBatch) groups the caller's
+ *    requests by tenant on the caller's thread and runs each group
+ *    through SphincsPlus::verifyBatch, filling the dispatched
+ *    hash-lane width across signatures;
+ *  - the asynchronous plane (submitVerify) queues requests on a
+ *    sharded MPMC queue served by the service's own worker pool. A
+ *    lane-filling batcher coalesces queued requests — up to the
+ *    coalescing window per pass — and groups them per tenant, so
+ *    interleaved mixed-tenant traffic still fills whole lane groups.
+ *
+ * Both planes sit behind the same AdmissionController as SignService
+ * (per-direction caps, a shared budget, per-tenant quotas), rejecting
+ * with typed ServiceOverload, and report into the same unified
+ * ServiceStats / StatsRegistry surface.
  */
 
 #ifndef HEROSIGN_SERVICE_VERIFY_SERVICE_HH
 #define HEROSIGN_SERVICE_VERIFY_SERVICE_HH
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <future>
 #include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "batch/mpmc_queue.hh"
+#include "service/admission.hh"
 #include "service/context_cache.hh"
 #include "service/key_store.hh"
 #include "service/service_stats.hh"
@@ -35,41 +53,55 @@ struct VerifyRequest
 /**
  * Multi-tenant verification service over a KeyStore.
  *
- * Calls are synchronous on the caller's thread (verification is
- * read-only, so any number of threads may call concurrently); the
- * batching win comes from lane parallelism, not queuing.
+ * Thread-safe: the synchronous calls run on the caller's thread
+ * (verification is read-only, so any number of threads may call
+ * concurrently) and submitVerify() may be called from any number of
+ * producers. The destructor drains outstanding async work before
+ * joining the workers.
  */
 class VerifyService
 {
   public:
     /**
-     * @param store  key registry (must outlive the service)
-     * @param cache  optional shared warm-context cache (pass the
-     *               SignService's to serve both directions from one
-     *               set of warm contexts); nullptr builds a private
-     *               one with @p cache_capacity entries
-     * @param stats  optional shared per-tenant stats registry
+     * @param store      key registry (must outlive the service)
+     * @param config     worker/queue/cache/admission knobs (the
+     *                   verify* and maxPending* fields)
+     * @param cache      optional shared warm-context cache (pass the
+     *                   SignService's to serve both directions from
+     *                   one set of warm contexts); nullptr builds a
+     *                   private one sized by the config
+     * @param stats      optional shared per-tenant stats registry
+     * @param admission  optional shared admission controller (pass
+     *                   the SignService's for one fabric-wide
+     *                   budget); nullptr builds a private one from
+     *                   the config's limits
      */
     explicit VerifyService(
-        KeyStore &store, std::shared_ptr<ContextCache> cache = nullptr,
+        KeyStore &store, const ServiceConfig &config = {},
+        std::shared_ptr<ContextCache> cache = nullptr,
         std::shared_ptr<StatsRegistry> stats = nullptr,
-        size_t cache_capacity = 64,
-        Sha256Variant variant = Sha256Variant::Native);
+        std::shared_ptr<AdmissionController> admission = nullptr);
+    ~VerifyService();
+
+    VerifyService(const VerifyService &) = delete;
+    VerifyService &operator=(const VerifyService &) = delete;
 
     /**
-     * Verify one signature. Unknown tenants report false (and count
-     * as rejects in the global counters only — never as new registry
-     * entries, so unbounded attacker-supplied ids cannot grow memory)
-     * rather than throwing: in a serving loop a bad key id is data,
-     * not a programming error.
+     * Verify one signature synchronously. Unknown tenants report
+     * false (and count as unknownTenantRejects in the global counters
+     * only — never as new registry entries, so unbounded
+     * attacker-supplied ids cannot grow memory) rather than throwing:
+     * in a serving loop a bad key id is data, not a programming
+     * error.
      */
     bool verify(const std::string &key_id, ByteSpan msg, ByteSpan sig);
 
     /**
-     * Verify a mixed-tenant batch. Results are positional: out[i] is
-     * 1 when reqs[i] verified. Requests are grouped by tenant and
-     * each group runs hashLaneWidth() signatures per lane pass;
-     * results are bool-identical to calling verify() per request.
+     * Verify a mixed-tenant batch synchronously. Results are
+     * positional: out[i] is 1 when reqs[i] verified. Requests are
+     * grouped by tenant and each group runs hashLaneWidth()
+     * signatures per lane pass; results are bool-identical to calling
+     * verify() per request.
      */
     std::vector<uint8_t>
     verifyBatch(const std::vector<VerifyRequest> &reqs);
@@ -79,8 +111,40 @@ class VerifyService
                                      const std::vector<ByteVec> &msgs,
                                      const std::vector<ByteVec> &sigs);
 
-    /** Snapshot (verify counters, cache, per-tenant). */
+    /**
+     * Queue one verification on the async plane; the future yields
+     * the verdict (identical to the synchronous path byte for byte)
+     * or the exception verification raised. Unknown tenants resolve
+     * to false immediately — reject-not-throw, same as the sync path
+     * — without consuming admission budget.
+     * @throws ServiceOverload when an admission limit trips
+     */
+    std::future<bool> submitVerify(const std::string &key_id,
+                                   ByteVec msg, ByteVec sig);
+
+    /** Block until everything submitted so far has a verdict. */
+    void drain();
+
+    /** Snapshot (verify plane, cache, per-tenant). */
     ServiceStats stats() const;
+
+    /** Requests accepted and not yet completed (approximate). */
+    uint64_t pending() const
+    {
+        const uint64_t done =
+            completed_.load(std::memory_order_acquire);
+        const uint64_t sub =
+            submitted_.load(std::memory_order_acquire);
+        return sub - done;
+    }
+
+    unsigned workers() const
+    {
+        return static_cast<unsigned>(workers_.size());
+    }
+
+    /** Requests one worker coalesces into a single grouped pass. */
+    unsigned coalesceWindow() const { return coalesce_; }
 
     const std::shared_ptr<ContextCache> &contextCache() const
     {
@@ -92,12 +156,61 @@ class VerifyService
         return statsReg_;
     }
 
+    const std::shared_ptr<AdmissionController> &admission() const
+    {
+        return admission_;
+    }
+
   private:
+    /** One queued verification, fully routed at admission. */
+    struct Task
+    {
+        std::shared_ptr<const WarmContext> warm;
+        TenantCounters *tenant = nullptr;
+        ByteVec msg;
+        ByteVec sig;
+        std::promise<bool> promise;
+    };
+
+    void workerLoop(unsigned id);
+    void processChunk(std::vector<Task> &chunk);
+
+    /**
+     * Run one same-context group through the lane-parallel verifier
+     * and account for it (global + per-tenant attempt and reject
+     * counters). Returns the positional verdicts.
+     */
+    std::vector<uint8_t> runGroup(const WarmContext &warm,
+                                  TenantCounters &tc,
+                                  const std::vector<ByteSpan> &msgs,
+                                  const std::vector<ByteSpan> &sigs);
+
+    void openEpochAndCountSubmitted(uint64_t count);
+    void noteCompletion(uint64_t count);
+
     KeyStore &store_;
+    ServiceConfig config_;
     std::shared_ptr<ContextCache> cache_;
     std::shared_ptr<StatsRegistry> statsReg_;
-    std::atomic<uint64_t> verifies_{0};
-    std::atomic<uint64_t> rejects_{0};
+    std::shared_ptr<AdmissionController> admission_;
+    batch::ShardedMpmcQueue<Task> queue_;
+    unsigned coalesce_;
+    std::vector<std::thread> workers_;
+
+    std::atomic<uint64_t> submitted_{0}; ///< accepted, both paths
+    std::atomic<uint64_t> completed_{0}; ///< verdict or exception out
+    std::atomic<uint64_t> verifies_{0};  ///< attempts with a verdict
+    std::atomic<uint64_t> failures_{0};  ///< attempts that threw
+    std::atomic<uint64_t> rejects_{0};   ///< false verdicts
+    std::atomic<uint64_t> rejected_{0};  ///< admission refusals
+    std::atomic<uint64_t> unknownRejects_{0};
+
+    // Epoch bookkeeping for wall-clock rates, guarded by epochM_.
+    mutable std::mutex epochM_;
+    std::condition_variable drainCv_;
+    std::chrono::steady_clock::time_point epochStart_;
+    std::chrono::steady_clock::time_point lastCompletion_;
+    bool epochOpen_ = false;
 };
 
 } // namespace herosign::service

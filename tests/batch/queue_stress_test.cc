@@ -9,6 +9,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <numeric>
 #include <thread>
 
@@ -103,6 +104,55 @@ TEST(MpmcQueue, CloseWakesBlockedConsumer)
     q.close();
     consumer.join();
     EXPECT_TRUE(returned.load());
+}
+
+TEST(MpmcQueue, AcceptedPushWakesParkedConsumerPromptly)
+{
+    // Regression test for a lost-wakeup window: a consumer that had
+    // finished its empty scan but not yet registered as a waiter was
+    // invisible to push()'s sibling-waiter scan, so an accepted item
+    // could sit for a full 5 ms max backoff before the timed wait
+    // expired. pop() now registers the waiter BEFORE a final
+    // occupancy re-check; the parkProbe seam injects a push into
+    // exactly that historical window and the test asserts the item
+    // is consumed without eating a backoff timeout.
+    ShardedMpmcQueue<int> q(2);
+
+    // Consume round-robin slot 0 so the probe's push lands on shard 1
+    // (the parked consumer's sibling). The probe runs with the home
+    // shard's mutex held, so a push routed to the home shard would
+    // self-deadlock in the test harness itself.
+    q.push(0);
+    int v = -1;
+    ASSERT_TRUE(q.tryPop(v, 0));
+
+    std::atomic<int> parks{0};
+    std::thread producer;
+    std::chrono::steady_clock::time_point pushed_at;
+    q.parkProbe = [&] {
+        // Let the backoff saturate to its 5 ms cap first, so a
+        // relapse into the old behaviour costs a full max backoff
+        // rather than the initial 200 us and the latency assertion
+        // below is unambiguous against scheduler jitter.
+        if (parks.fetch_add(1) + 1 != 8)
+            return;
+        producer = std::thread([&] { q.push(42); });
+        while (q.sizeApprox() == 0)
+            std::this_thread::yield();
+        pushed_at = std::chrono::steady_clock::now();
+    };
+
+    int got = -1;
+    EXPECT_TRUE(q.pop(got, 0));
+    const auto latency = std::chrono::steady_clock::now() - pushed_at;
+    producer.join();
+    EXPECT_EQ(got, 42);
+    EXPECT_GE(parks.load(), 8);
+    // The fixed path skips the wait via the occupancy re-check; the
+    // lost-wakeup bug slept the full 5 ms cap.
+    const double latency_ms =
+        std::chrono::duration<double, std::milli>(latency).count();
+    EXPECT_LT(latency_ms, 2.5);
 }
 
 TEST(MpmcQueue, ItemsPushedBeforeCloseStillDrain)

@@ -145,6 +145,31 @@ TEST(ContextCache, CapacityClampedToOne)
     EXPECT_THROW(cache.acquire(nullptr), std::invalid_argument);
 }
 
+TEST(ContextCache, TinyCapacityDoesNotChurnSingleTenant)
+{
+    // A capacity-0 request clamps to one usable slot. Without the
+    // clamp an "empty" cache would evict on every insert, turning a
+    // steady single-tenant stream into a miss+evict cycle that
+    // constructs a Context per request. With it, every acquire after
+    // the first is a hit and construction happens exactly once.
+    const auto p = miniParams();
+    KeyStore store;
+    store.addKey("solo", makeKeyPair(p, 9));
+    const uint64_t built_before = sphincs::Context::constructionCount();
+
+    ContextCache cache(0);
+    for (unsigned i = 0; i < 32; ++i)
+        EXPECT_NE(cache.acquire(store.find("solo")), nullptr);
+
+    auto st = cache.stats();
+    EXPECT_EQ(st.misses, 1u);
+    EXPECT_EQ(st.hits, 31u);
+    EXPECT_EQ(st.evictions, 0u);
+    EXPECT_EQ(st.size, 1u);
+    EXPECT_EQ(sphincs::Context::constructionCount() - built_before,
+              1u);
+}
+
 TEST(ContextCache, ConcurrentAcquireIsRaceFreeAndConsistent)
 {
     // Capacity 1 with two hot keys forces constant eviction and

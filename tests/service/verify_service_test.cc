@@ -104,10 +104,22 @@ TEST(VerifyService, UnknownTenantRejectsWithoutThrowing)
     auto st = svc.stats();
     EXPECT_EQ(st.verifies, 2u);
     EXPECT_EQ(st.verifyRejects, 1u);
+    EXPECT_EQ(st.unknownTenantRejects, 1u);
     // Unknown ids only hit the global counters: per-tenant registry
     // entries for attacker-supplied ids would grow without bound.
     EXPECT_EQ(st.tenants.count("ghost"), 0u);
     EXPECT_EQ(st.tenants.at("t0").verifies, 1u);
+
+    // Reconciliation identities: the per-tenant ledgers plus the
+    // unknown-tenant bucket account for every global count exactly.
+    uint64_t tenant_verifies = 0, tenant_rejects = 0;
+    for (const auto &[id, ts] : st.tenants) {
+        tenant_verifies += ts.verifies;
+        tenant_rejects += ts.verifyRejects;
+    }
+    EXPECT_EQ(tenant_verifies + st.unknownTenantRejects, st.verifies);
+    EXPECT_EQ(tenant_rejects + st.unknownTenantRejects,
+              st.verifyRejects);
 }
 
 TEST(VerifyService, SingleTenantConvenienceOverload)
@@ -135,8 +147,9 @@ TEST(VerifyService, SharedCacheAndStatsWithSignService)
     service::ServiceConfig cfg;
     cfg.workers = 2;
     service::SignService sign_svc(fx.store, cfg);
-    VerifyService verify_svc(fx.store, sign_svc.contextCache(),
-                             sign_svc.statsRegistry());
+    VerifyService verify_svc(fx.store, cfg, sign_svc.contextCache(),
+                             sign_svc.statsRegistry(),
+                             sign_svc.admission());
 
     ByteVec msg = patternMsg(20);
     ByteVec sig = sign_svc.submitSign("t0", msg).get();
