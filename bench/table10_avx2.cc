@@ -9,13 +9,21 @@
  * single-thread speedups. Signatures are byte-identical across all
  * three backends.
  *
+ * A second table scales worker threads (1/2/4/8/16) at each lane
+ * width through the BatchSigner's cross-signature lane scheduler —
+ * the row to hold against the paper's 16-thread AVX2 line
+ * (0.828/0.560/0.356 KOPS). On a host with fewer cores the thread
+ * rows flatten; the lane-width split remains.
+ *
  * Flags: --iters N (signatures per measurement, default 3), --csv,
  * --json <path> (the machine-readable record the BENCH_*.json trend
  * snapshots and scripts/bench_trend.py consume).
  */
 
 #include <chrono>
+#include <thread>
 
+#include "batch/batch_signer.hh"
 #include "bench_util.hh"
 #include "common/random.hh"
 #include "hash/sha256xN.hh"
@@ -28,6 +36,42 @@ using sphincs::SphincsPlus;
 
 namespace
 {
+
+/** KOPS of a threaded cross-signature BatchSigner run. */
+double
+measureThreadedKops(const Params &p, bool force_scalar, bool no_avx512,
+                    unsigned workers, unsigned msgs)
+{
+    using batch::BatchSigner;
+    using batch::BatchSignerConfig;
+
+    sphincs::SphincsPlus scheme(p);
+    Rng rng(1);
+    auto kp = scheme.keygen(rng);
+    std::vector<ByteVec> batch;
+    batch.reserve(msgs);
+    for (unsigned i = 0; i < msgs; ++i)
+        batch.push_back(rng.bytes(64));
+
+    sha256LanesForceScalar(force_scalar);
+    sha256LanesDisableAvx512(no_avx512);
+    BatchSignerConfig cfg;
+    cfg.workers = workers;
+    cfg.shards = 4;
+    BatchSigner signer(p, kp.sk, cfg);
+    {
+        auto warm = signer.submit(rng.bytes(64));
+        warm.get();
+        signer.drain();
+    }
+    auto futures = signer.submitMany(batch);
+    for (auto &f : futures)
+        f.get();
+    auto st = signer.drain();
+    sha256LanesForceScalar(false);
+    sha256LanesDisableAvx512(false);
+    return st.sigsPerSec / 1000.0; // KOPS
+}
 
 double
 measureKops(const Params &p, bool force_scalar, bool no_avx512,
@@ -128,5 +172,44 @@ main(int argc, char **argv)
          "by two orders of magnitude. The measured rows compare this "
          "repo's batched signer on scalar vs 8-lane AVX2 vs 16-lane "
          "AVX-512 hash lanes.");
+
+    // --- Thread scaling through the cross-signature scheduler -----
+    struct Backend
+    {
+        const char *name;
+        bool forceScalar, noAvx512;
+    };
+    std::vector<Backend> backends = {{"scalar", true, false}};
+    if (have_avx2)
+        backends.push_back({"x8 AVX2", false, true});
+    if (have_avx512)
+        backends.push_back({"x16 AVX-512", false, false});
+
+    const unsigned msgs = o.iters ? o.iters * 4 : 16;
+    TextTable ts({"Configuration", "128f KOPS", "192f KOPS",
+                  "256f KOPS"});
+    ts.addRow({"AVX2 16 threads (paper)", fmtF(lit[0].threads16, 3),
+               fmtF(lit[1].threads16, 3), fmtF(lit[2].threads16, 3)});
+    for (const Backend &b : backends) {
+        for (unsigned threads : {1u, 2u, 4u, 8u, 16u}) {
+            double kops[3];
+            for (int i = 0; i < 3; ++i)
+                kops[i] = measureThreadedKops(*sets[i], b.forceScalar,
+                                              b.noAvx512, threads,
+                                              msgs);
+            ts.addRow({std::string(b.name) + ", " +
+                           std::to_string(threads) +
+                           (threads == 1 ? " thread" : " threads"),
+                       fmtF(kops[0], 3), fmtF(kops[1], 3),
+                       fmtF(kops[2], 3)});
+        }
+    }
+    emit(o, "Table X+: thread scaling (KOPS, cross-signature batching)",
+         ts,
+         "BatchSigner workers coalescing queued signatures into "
+         "lockstep lane groups; hardware threads on this host: " +
+             std::to_string(std::thread::hardware_concurrency()) +
+             ". Hold the 16-thread rows against the paper's AVX2 "
+             "16-thread line.");
     return 0;
 }

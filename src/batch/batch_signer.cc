@@ -1,12 +1,17 @@
 #include "batch/batch_signer.hh"
 
+#include <algorithm>
 #include <stdexcept>
+
+#include "batch/lane_scheduler.hh"
+#include "sphincs/sign_task.hh"
 
 namespace herosign::batch
 {
 
 using sphincs::Params;
 using sphincs::SecretKey;
+using sphincs::SignTask;
 
 namespace
 {
@@ -31,6 +36,14 @@ requireKey(std::shared_ptr<const SecretKey> sk)
     return sk;
 }
 
+unsigned
+resolveLaneGroup(unsigned configured)
+{
+    if (configured == 0)
+        return LaneScheduler::preferredGroup();
+    return std::min(configured, LaneScheduler::maxGroup);
+}
+
 } // namespace
 
 BatchSigner::BatchSigner(const Params &params, const SecretKey &sk,
@@ -45,7 +58,8 @@ BatchSigner::BatchSigner(const Params &params,
     : params_(params), sk_(requireKey(std::move(sk))),
       scheme_(params_, config.variant),
       ctx_(params_, sk_->pkSeed, sk_->skSeed, config.variant),
-      queue_(config.shards == 0 ? 1 : config.shards)
+      queue_(config.shards == 0 ? 1 : config.shards),
+      laneGroup_(resolveLaneGroup(config.laneGroup))
 {
     const unsigned n = config.workers == 0 ? 1 : config.workers;
     workers_.reserve(n);
@@ -80,17 +94,15 @@ BatchSigner::~BatchSigner()
 }
 
 std::future<ByteVec>
-BatchSigner::enqueue(ByteVec msg, ByteVec opt_rand, SignCallback cb)
+BatchSigner::submit(SignRequest req)
 {
-    if (!opt_rand.empty() && opt_rand.size() != params_.n)
+    if (!req.optRand.empty() && req.optRand.size() != params_.n)
         throw std::invalid_argument(
             "BatchSigner: opt_rand must be n bytes");
 
-    SignRequest req;
-    req.message = std::move(msg);
-    req.optRand = std::move(opt_rand);
-    req.callback = std::move(cb);
-    auto fut = req.promise.get_future();
+    SignJob job;
+    job.req = std::move(req);
+    auto fut = job.promise.get_future();
 
     {
         std::lock_guard<std::mutex> lk(drainM_);
@@ -98,46 +110,152 @@ BatchSigner::enqueue(ByteVec msg, ByteVec opt_rand, SignCallback cb)
             epochOpen_ = true;
             epochStart_ = std::chrono::steady_clock::now();
         }
-        req.seq = submitted_.fetch_add(1, std::memory_order_relaxed);
+        job.seq = submitted_.fetch_add(1, std::memory_order_relaxed);
     }
     try {
-        queue_.push(std::move(req));
+        queue_.push(std::move(job));
     } catch (...) {
         // The seq was claimed but never enqueued; account it as a
         // failed completion so drain() can still converge. (Seqs
         // stay monotonic — this one is simply skipped.)
         failures_.fetch_add(1, std::memory_order_relaxed);
-        {
-            std::lock_guard<std::mutex> lk(drainM_);
-            completed_.fetch_add(1, std::memory_order_release);
-            lastCompletion_ = std::chrono::steady_clock::now();
-        }
-        drainCv_.notify_all();
+        completeOne();
         throw;
     }
     return fut;
 }
 
+std::vector<std::future<ByteVec>>
+BatchSigner::submitMany(std::span<SignRequest> reqs)
+{
+    std::vector<std::future<ByteVec>> futures;
+    futures.reserve(reqs.size());
+    for (SignRequest &r : reqs)
+        futures.push_back(submit(std::move(r)));
+    return futures;
+}
+
 std::future<ByteVec>
 BatchSigner::submit(ByteVec msg, ByteVec opt_rand)
 {
-    return enqueue(std::move(msg), std::move(opt_rand), {});
+    return submit(
+        SignRequest{std::move(msg), std::move(opt_rand), {}});
 }
 
 std::future<ByteVec>
 BatchSigner::submit(ByteVec msg, SignCallback cb, ByteVec opt_rand)
 {
-    return enqueue(std::move(msg), std::move(opt_rand), std::move(cb));
+    return submit(SignRequest{std::move(msg), std::move(opt_rand),
+                              std::move(cb)});
 }
 
 std::vector<std::future<ByteVec>>
 BatchSigner::submitMany(const std::vector<ByteVec> &msgs)
 {
-    std::vector<std::future<ByteVec>> futures;
-    futures.reserve(msgs.size());
-    for (const ByteVec &m : msgs)
-        futures.push_back(submit(m));
-    return futures;
+    std::vector<SignRequest> reqs(msgs.size());
+    for (size_t i = 0; i < msgs.size(); ++i)
+        reqs[i].message = msgs[i];
+    return submitMany(std::span<SignRequest>(reqs));
+}
+
+void
+BatchSigner::completeOne()
+{
+    {
+        std::lock_guard<std::mutex> lk(drainM_);
+        completed_.fetch_add(1, std::memory_order_release);
+        lastCompletion_ = std::chrono::steady_clock::now();
+    }
+    drainCv_.notify_all();
+}
+
+void
+BatchSigner::signGroup(Worker &w, SignJob jobs[], unsigned count)
+{
+    if (count == 1) {
+        // Within-signature path: lanes fill only inside this one
+        // signature's trees. This is also the honest baseline the
+        // cross-signature bench mode compares against.
+        SignJob &job = jobs[0];
+        try {
+            ByteVec sig = scheme_.sign(ctx_, job.req.message, *sk_,
+                                       job.req.optRand);
+            if (job.req.callback) {
+                // A throwing callback must not poison the finished
+                // signature: isolate it from the signing try-block.
+                try {
+                    job.req.callback(job.seq, sig);
+                } catch (...) {
+                }
+            }
+            job.promise.set_value(std::move(sig));
+            w.signedCount.fetch_add(1, std::memory_order_relaxed);
+        } catch (...) {
+            failures_.fetch_add(1, std::memory_order_relaxed);
+            job.promise.set_exception(std::current_exception());
+        }
+        completeOne();
+        return;
+    }
+
+    // Cross-signature path: run the whole group in lockstep, hash
+    // lanes filled across signatures. Task construction (prfMsg +
+    // digest) can throw per job; a failed member is dropped from the
+    // group and the survivors still sign together.
+    std::unique_ptr<SignTask> tasks[LaneScheduler::maxGroup];
+    SignTask *ptrs[LaneScheduler::maxGroup];
+    unsigned live[LaneScheduler::maxGroup];
+    unsigned nlive = 0;
+    for (unsigned i = 0; i < count; ++i) {
+        try {
+            tasks[nlive] = std::make_unique<SignTask>(
+                ctx_, *sk_, jobs[i].req.message, jobs[i].req.optRand);
+            ptrs[nlive] = tasks[nlive].get();
+            live[nlive] = i;
+            ++nlive;
+        } catch (...) {
+            failures_.fetch_add(1, std::memory_order_relaxed);
+            jobs[i].promise.set_exception(std::current_exception());
+            completeOne();
+        }
+    }
+    if (nlive == 0)
+        return;
+    bool ran = false;
+    try {
+        LaneScheduler::run(ptrs, nlive);
+        ran = true;
+    } catch (...) {
+        // A group-wide failure fails every member.
+        for (unsigned i = 0; i < nlive; ++i) {
+            failures_.fetch_add(1, std::memory_order_relaxed);
+            jobs[live[i]].promise.set_exception(
+                std::current_exception());
+            completeOne();
+        }
+    }
+    if (!ran)
+        return;
+    laneGroups_.fetch_add(1, std::memory_order_relaxed);
+    crossSignJobs_.fetch_add(nlive, std::memory_order_relaxed);
+    for (unsigned i = 0; i < nlive; ++i) {
+        SignJob &job = jobs[live[i]];
+        try {
+            ByteVec sig = tasks[i]->takeSignature();
+            if (job.req.callback) {
+                try {
+                    job.req.callback(job.seq, sig);
+                } catch (...) {
+                }
+            }
+            job.promise.set_value(std::move(sig));
+            w.signedCount.fetch_add(1, std::memory_order_relaxed);
+        } catch (...) {
+            failures_.fetch_add(1, std::memory_order_relaxed);
+            job.promise.set_exception(std::current_exception());
+        }
+        completeOne();
+    }
 }
 
 void
@@ -145,32 +263,15 @@ BatchSigner::workerLoop(unsigned id)
 {
     Worker &w = *workers_[id];
     const unsigned home = id % queue_.shards();
-    SignRequest req;
-    while (queue_.pop(req, home)) {
-        try {
-            // Warm shared context: read-only state, no construction.
-            ByteVec sig =
-                scheme_.sign(ctx_, req.message, *sk_, req.optRand);
-            if (req.callback) {
-                // A throwing callback must not poison the finished
-                // signature: isolate it from the signing try-block.
-                try {
-                    req.callback(req.seq, sig);
-                } catch (...) {
-                }
-            }
-            req.promise.set_value(std::move(sig));
-            w.signedCount.fetch_add(1, std::memory_order_relaxed);
-        } catch (...) {
-            failures_.fetch_add(1, std::memory_order_relaxed);
-            req.promise.set_exception(std::current_exception());
-        }
-        {
-            std::lock_guard<std::mutex> lk(drainM_);
-            completed_.fetch_add(1, std::memory_order_release);
-            lastCompletion_ = std::chrono::steady_clock::now();
-        }
-        drainCv_.notify_all();
+    SignJob jobs[LaneScheduler::maxGroup];
+    while (queue_.pop(jobs[0], home)) {
+        // Coalesce whatever is already queued — never wait for more:
+        // an idle queue signs the single job immediately, a
+        // backlogged one fills the lane group.
+        unsigned got = 1;
+        while (got < laneGroup_ && queue_.tryPop(jobs[got], home))
+            ++got;
+        signGroup(w, jobs, got);
     }
 }
 
@@ -196,6 +297,12 @@ BatchSigner::drain()
     st.crossShardPops = queue_.steals() - epochStealsBase_;
     st.failures =
         failures_.load(std::memory_order_relaxed) - epochFailuresBase_;
+    const uint64_t groups =
+        laneGroups_.load(std::memory_order_relaxed);
+    const uint64_t crossJobs =
+        crossSignJobs_.load(std::memory_order_relaxed);
+    st.laneGroups = groups - epochLaneGroupsBase_;
+    st.crossSignJobs = crossJobs - epochCrossSignBase_;
     const uint64_t ok = st.jobs - st.failures;
     st.sigsPerSec = st.wallUs > 0 ? ok * 1e6 / st.wallUs : 0.0;
     st.perWorkerSigned.resize(workers_.size());
@@ -210,6 +317,8 @@ BatchSigner::drain()
     epochJobsBase_ = done;
     epochStealsBase_ = queue_.steals();
     epochFailuresBase_ = failures_.load(std::memory_order_relaxed);
+    epochLaneGroupsBase_ = groups;
+    epochCrossSignBase_ = crossJobs;
     epochOpen_ = false;
     return st;
 }

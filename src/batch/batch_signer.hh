@@ -9,9 +9,16 @@
  * SecretKey (held via shared_ptr, zeroized on teardown when owned
  * here) and one warm hashing Context built once at construction, so
  * the hot path performs no per-sign Context construction and no
- * worker ever holds a private copy of secret material. Signatures are
- * byte-identical to the scalar sphincs::SphincsPlus path regardless
- * of worker count or scheduling order.
+ * worker ever holds a private copy of secret material.
+ *
+ * Workers coalesce queued jobs into cross-signature lane groups: one
+ * blocking pop plus non-blocking pops up to the configured laneGroup,
+ * signed in lockstep by the batch::LaneScheduler so SIMD hash lanes
+ * fill across signatures even on parameter shapes whose per-signature
+ * trees are narrower than the lane width. A group of one falls back
+ * to the within-signature path. Signatures are byte-identical to the
+ * scalar sphincs::SphincsPlus path regardless of worker count, group
+ * size or scheduling order.
  */
 
 #ifndef HEROSIGN_BATCH_BATCH_SIGNER_HH
@@ -23,6 +30,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <thread>
 #include <vector>
 
@@ -40,6 +48,12 @@ struct BatchSignerConfig
 {
     unsigned workers = 4;  ///< worker threads (clamped to >= 1)
     unsigned shards = 4;   ///< queue shards; engine wires streams here
+    /// Jobs one worker coalesces into a single cross-signature lane
+    /// group (signed in lockstep, hash lanes filled across
+    /// signatures). 0 = auto (the dispatched hash-lane width);
+    /// 1 disables coalescing — every job takes the within-signature
+    /// path. Clamped to the LaneScheduler group bound.
+    unsigned laneGroup = 0;
     Sha256Variant variant = Sha256Variant::Native;
 };
 
@@ -77,22 +91,36 @@ class BatchSigner
     BatchSigner &operator=(const BatchSigner &) = delete;
 
     /**
-     * Queue one message; the future yields its signature (or the
-     * exception signing raised).
+     * Queue one request; the future yields its signature (or the
+     * exception signing raised). The request's callback, when set,
+     * runs on the worker thread right before the future is
+     * fulfilled; it is not invoked when signing throws.
+     * @throws std::invalid_argument when optRand is non-empty and
+     *         not n bytes
+     */
+    std::future<ByteVec> submit(SignRequest req);
+
+    /**
+     * Queue a whole batch of requests; futures are in request order.
+     * Every per-request field — optRand, callback — is honored
+     * exactly as if each request had been submit()ed individually.
+     * The requests are consumed (moved from).
+     */
+    std::vector<std::future<ByteVec>>
+    submitMany(std::span<SignRequest> reqs);
+
+    /**
+     * Legacy positional shim for submit(SignRequest).
      * @param opt_rand n bytes of signing randomness; empty selects
      *        the deterministic variant
      */
     std::future<ByteVec> submit(ByteVec msg, ByteVec opt_rand = {});
 
-    /**
-     * Queue one message with a completion callback. The callback runs
-     * on the worker thread right before the future is fulfilled; it
-     * is not invoked when signing throws.
-     */
+    /** Legacy callback shim for submit(SignRequest). */
     std::future<ByteVec> submit(ByteVec msg, SignCallback cb,
                                 ByteVec opt_rand = {});
 
-    /** Queue a whole batch; futures are in message order. */
+    /** Legacy message-only shim for submitMany(span<SignRequest>). */
     std::vector<std::future<ByteVec>>
     submitMany(const std::vector<ByteVec> &msgs);
 
@@ -109,6 +137,9 @@ class BatchSigner
     }
 
     unsigned shards() const { return queue_.shards(); }
+
+    /** Effective cross-signature coalescing group (1 = disabled). */
+    unsigned laneGroup() const { return laneGroup_; }
 
     const sphincs::Params &params() const { return params_; }
 
@@ -131,8 +162,8 @@ class BatchSigner
     };
 
     void workerLoop(unsigned id);
-    std::future<ByteVec> enqueue(ByteVec msg, ByteVec opt_rand,
-                                 SignCallback cb);
+    void signGroup(Worker &w, SignJob jobs[], unsigned count);
+    void completeOne();
 
     sphincs::Params params_;
     // Shared immutable signing state: one key reference (no per-worker
@@ -140,12 +171,15 @@ class BatchSigner
     std::shared_ptr<const sphincs::SecretKey> sk_;
     sphincs::SphincsPlus scheme_;
     sphincs::Context ctx_;
-    ShardedMpmcQueue<SignRequest> queue_;
+    ShardedMpmcQueue<SignJob> queue_;
+    unsigned laneGroup_;
     std::vector<std::unique_ptr<Worker>> workers_;
 
     std::atomic<uint64_t> submitted_{0};
     std::atomic<uint64_t> completed_{0};
     std::atomic<uint64_t> failures_{0};
+    std::atomic<uint64_t> laneGroups_{0};
+    std::atomic<uint64_t> crossSignJobs_{0};
 
     // Batch-epoch bookkeeping, guarded by drainM_.
     std::mutex drainM_;
@@ -156,6 +190,8 @@ class BatchSigner
     uint64_t epochJobsBase_ = 0;
     uint64_t epochStealsBase_ = 0;
     uint64_t epochFailuresBase_ = 0;
+    uint64_t epochLaneGroupsBase_ = 0;
+    uint64_t epochCrossSignBase_ = 0;
     std::vector<uint64_t> epochWorkerBase_;
 };
 

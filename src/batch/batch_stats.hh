@@ -22,6 +22,12 @@ struct BatchStats
     double sigsPerSec = 0;     ///< successful signatures / wall clock
     uint64_t crossShardPops = 0; ///< work-stealing dequeues
     uint64_t failures = 0;     ///< jobs that completed exceptionally
+    /// Cross-signature lane groups run (coalesced pops of >= 2 jobs
+    /// signed in lockstep by the LaneScheduler).
+    uint64_t laneGroups = 0;
+    /// Jobs signed inside such a group (the rest took the
+    /// within-signature scalar-batched path).
+    uint64_t crossSignJobs = 0;
     /// Successful signatures per worker (failures excluded).
     std::vector<uint64_t> perWorkerSigned;
 };

@@ -1,9 +1,14 @@
 /**
  * @file
- * The unit of work flowing through the batch signer's queue: one
- * message to sign, its optional signing randomness, and the two
- * completion channels (a promise for the future-based API and an
- * optional callback run on the worker thread).
+ * The unified request structs for every submit surface in the batch
+ * and service layers. One signing request (message, optional signing
+ * randomness, optional completion callback) and one verification
+ * request (message, signature) — BatchSigner, SignService and
+ * VerifyService all accept these via submit(Request) /
+ * submitMany(span<Request>), so per-request options survive batch
+ * submission instead of being flattened away by message-only
+ * overloads. The legacy positional overloads remain as thin
+ * delegating shims.
  */
 
 #ifndef HEROSIGN_BATCH_SIGN_REQUEST_HH
@@ -28,14 +33,34 @@ namespace herosign::batch
 using SignCallback =
     std::function<void(uint64_t seq, const ByteVec &signature)>;
 
-/** One queued signing job. Move-only (it owns a promise). */
+/**
+ * One signing request as the caller states it. Per-request options
+ * ride along through submitMany() — every field is honored whether
+ * the request is submitted alone or in a batch.
+ */
 struct SignRequest
 {
-    uint64_t seq = 0;       ///< submission order, 0-based
     ByteVec message;
-    ByteVec optRand;        ///< empty selects deterministic signing
+    ByteVec optRand;       ///< empty selects deterministic signing
+    SignCallback callback; ///< optional, may be empty
+};
+
+/** One verification request (a message/signature pair). */
+struct VerifyRequest
+{
+    ByteVec message;
+    ByteVec signature;
+};
+
+/**
+ * One queued signing job: the caller's request plus the submission
+ * bookkeeping the worker needs. Move-only (it owns a promise).
+ */
+struct SignJob
+{
+    uint64_t seq = 0; ///< submission order, 0-based
+    SignRequest req;
     std::promise<ByteVec> promise;
-    SignCallback callback;  ///< optional, may be empty
 };
 
 } // namespace herosign::batch

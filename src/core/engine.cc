@@ -401,10 +401,24 @@ SignEngine::signBatch(const std::vector<ByteVec> &messages,
         1u, worker_override ? worker_override : config_.batchWorkers);
     bc.shards = std::max(1u, config_.streams);
 
-    BatchExecOutcome out;
-    out.workers = bc.workers;
-
     batch::BatchSigner signer(params_, sk, bc);
+    return signBatch(messages, signer);
+}
+
+BatchExecOutcome
+SignEngine::signBatch(const std::vector<ByteVec> &messages,
+                      batch::BatchSigner &signer) const
+{
+    if (signer.params().name != params_.name ||
+        signer.params().n != params_.n)
+        throw std::invalid_argument(
+            "signBatch: signer is bound to parameter set '" +
+            signer.params().name + "', engine runs '" + params_.name +
+            "'");
+
+    BatchExecOutcome out;
+    out.workers = signer.workers();
+
     auto futures = signer.submitMany(messages);
     out.signatures.reserve(futures.size());
     for (auto &f : futures)

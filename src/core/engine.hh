@@ -26,6 +26,11 @@
 #include "gpusim/scheduler.hh"
 #include "sphincs/sphincs.hh"
 
+namespace herosign::batch
+{
+class BatchSigner;
+}
+
 namespace herosign::core
 {
 
@@ -144,6 +149,16 @@ class SignEngine
     BatchExecOutcome signBatch(const std::vector<ByteVec> &messages,
                                const sphincs::SecretKey &sk,
                                unsigned worker_override = 0) const;
+
+    /**
+     * Sign @p messages on a caller-provided signer, reusing its
+     * worker pool, queue and warm context across calls instead of
+     * constructing a fresh BatchSigner (threads + Context) per batch.
+     * The signer must be bound to this engine's parameter set —
+     * checked, throws std::invalid_argument on mismatch.
+     */
+    BatchExecOutcome signBatch(const std::vector<ByteVec> &messages,
+                               batch::BatchSigner &signer) const;
 
     /**
      * Verify @p signatures over @p messages under one public key with

@@ -55,6 +55,11 @@ struct ServiceConfig
 {
     unsigned workers = 4;  ///< sign worker threads (clamped to >= 1)
     unsigned shards = 4;   ///< sign queue shards (clamped to >= 1)
+    /// Queued sign jobs one worker coalesces per pass; same-context
+    /// (same-tenant) runs sign as one cross-signature lane group.
+    /// 0 = auto (the dispatched hash-lane width); 1 disables
+    /// coalescing.
+    unsigned signCoalesce = 0;
     unsigned verifyWorkers = 2; ///< verify worker threads (>= 1)
     unsigned verifyShards = 2;  ///< verify queue shards (>= 1)
     /// Max queued requests one verify worker coalesces into a single

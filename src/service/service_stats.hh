@@ -57,6 +57,10 @@ struct ServiceStats
     uint64_t signsCompleted = 0;
     uint64_t signFailures = 0;
     uint64_t signsRejected = 0;  ///< refused by admission control
+    /// Cross-signature lane groups run by the sign workers (coalesced
+    /// pops of >= 2 same-context jobs signed in lockstep).
+    uint64_t signLaneGroups = 0;
+    uint64_t signCrossSignJobs = 0; ///< jobs signed inside such groups
 
     uint64_t verifyQueueDepth = 0; ///< jobs waiting in the verify queue
     uint64_t verifyInFlight = 0;   ///< verify submitted, not completed
@@ -95,6 +99,8 @@ struct ServiceStats
         m.signsCompleted += other.signsCompleted;
         m.signFailures += other.signFailures;
         m.signsRejected += other.signsRejected;
+        m.signLaneGroups += other.signLaneGroups;
+        m.signCrossSignJobs += other.signCrossSignJobs;
         m.verifyQueueDepth += other.verifyQueueDepth;
         m.verifyInFlight += other.verifyInFlight;
         m.verifiesSubmitted += other.verifiesSubmitted;

@@ -1,7 +1,28 @@
 #include "service/sign_service.hh"
 
+#include <algorithm>
+
+#include "batch/lane_scheduler.hh"
+#include "sphincs/sign_task.hh"
+
 namespace herosign::service
 {
+
+using batch::LaneScheduler;
+using sphincs::SignTask;
+
+namespace
+{
+
+unsigned
+resolveCoalesce(unsigned configured)
+{
+    if (configured == 0)
+        return LaneScheduler::preferredGroup();
+    return configured;
+}
+
+} // namespace
 
 SignService::SignService(KeyStore &store, const ServiceConfig &config,
                          std::shared_ptr<ContextCache> cache,
@@ -17,7 +38,8 @@ SignService::SignService(KeyStore &store, const ServiceConfig &config,
                      ? std::move(admission)
                      : std::make_shared<AdmissionController>(
                            AdmissionLimits::fromConfig(config))),
-      queue_(config.shards == 0 ? 1 : config.shards)
+      queue_(config.shards == 0 ? 1 : config.shards),
+      coalesce_(resolveCoalesce(config.signCoalesce))
 {
     const unsigned n = config.workers == 0 ? 1 : config.workers;
     workers_.reserve(n);
@@ -47,8 +69,7 @@ SignService::~SignService()
 }
 
 std::future<ByteVec>
-SignService::submitSign(const std::string &key_id, ByteVec msg,
-                        ByteVec opt_rand)
+SignService::submit(const std::string &key_id, batch::SignRequest req)
 {
     auto key = store_.find(key_id);
     if (!key)
@@ -57,7 +78,7 @@ SignService::submitSign(const std::string &key_id, ByteVec msg,
     if (!key->canSign())
         throw std::invalid_argument("SignService: key '" + key_id +
                                     "' is verify-only");
-    if (!opt_rand.empty() && opt_rand.size() != key->params.n)
+    if (!req.optRand.empty() && req.optRand.size() != key->params.n)
         throw std::invalid_argument(
             "SignService: opt_rand must be n bytes");
 
@@ -72,13 +93,14 @@ SignService::submitSign(const std::string &key_id, ByteVec msg,
         rejected_.fetch_add(1, std::memory_order_relaxed);
         throw;
     }
+    uint64_t seq;
     {
         std::lock_guard<std::mutex> lk(drainM_);
         if (!epochOpen_) {
             epochOpen_ = true;
             epochStart_ = std::chrono::steady_clock::now();
         }
-        submitted_.fetch_add(1, std::memory_order_relaxed);
+        seq = submitted_.fetch_add(1, std::memory_order_relaxed);
     }
 
     // The slot is claimed: any failure from here to a successful
@@ -91,8 +113,10 @@ SignService::submitSign(const std::string &key_id, ByteVec msg,
         // warm context and never constructs hashing state.
         task.warm = cache_->acquire(key);
         task.tenant = &tc;
-        task.msg = std::move(msg);
-        task.optRand = std::move(opt_rand);
+        task.seq = seq;
+        task.msg = std::move(req.message);
+        task.optRand = std::move(req.optRand);
+        task.callback = std::move(req.callback);
         auto fut = task.promise.get_future();
         queue_.push(std::move(task));
         return fut;
@@ -102,13 +126,126 @@ SignService::submitSign(const std::string &key_id, ByteVec msg,
         // failures intact: the job will never reach a worker.
         tc.signFailures.fetch_add(1, std::memory_order_relaxed);
         admission_->release(Plane::Sign, tc);
-        {
-            std::lock_guard<std::mutex> lk(drainM_);
-            completed_.fetch_add(1, std::memory_order_release);
-            lastCompletion_ = std::chrono::steady_clock::now();
-        }
-        drainCv_.notify_all();
+        noteCompletion();
         throw;
+    }
+}
+
+std::vector<std::future<ByteVec>>
+SignService::submitMany(const std::string &key_id,
+                        std::span<batch::SignRequest> reqs)
+{
+    std::vector<std::future<ByteVec>> futures;
+    futures.reserve(reqs.size());
+    for (batch::SignRequest &r : reqs)
+        futures.push_back(submit(key_id, std::move(r)));
+    return futures;
+}
+
+std::future<ByteVec>
+SignService::submitSign(const std::string &key_id, ByteVec msg,
+                        ByteVec opt_rand)
+{
+    return submit(key_id, batch::SignRequest{std::move(msg),
+                                             std::move(opt_rand), {}});
+}
+
+void
+SignService::noteCompletion()
+{
+    {
+        std::lock_guard<std::mutex> lk(drainM_);
+        completed_.fetch_add(1, std::memory_order_release);
+        lastCompletion_ = std::chrono::steady_clock::now();
+    }
+    drainCv_.notify_all();
+}
+
+void
+SignService::finishTask(Task &task, ByteVec sig)
+{
+    if (task.callback) {
+        // A throwing callback must not poison the finished
+        // signature.
+        try {
+            task.callback(task.seq, sig);
+        } catch (...) {
+        }
+    }
+    task.tenant->signsCompleted.fetch_add(1,
+                                          std::memory_order_relaxed);
+    task.promise.set_value(std::move(sig));
+    task.warm.reset(); // release the context pin promptly
+    admission_->release(Plane::Sign, *task.tenant);
+    noteCompletion();
+}
+
+void
+SignService::failTask(Task &task, std::exception_ptr err)
+{
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    task.tenant->signFailures.fetch_add(1, std::memory_order_relaxed);
+    task.promise.set_exception(std::move(err));
+    task.warm.reset();
+    admission_->release(Plane::Sign, *task.tenant);
+    noteCompletion();
+}
+
+void
+SignService::signSameContextGroup(Task *const tasks[], unsigned count)
+{
+    if (count == 1) {
+        Task &task = *tasks[0];
+        try {
+            ByteVec sig = task.warm->scheme.sign(
+                task.warm->ctx, task.msg, task.warm->key->sk,
+                task.optRand);
+            finishTask(task, std::move(sig));
+        } catch (...) {
+            failTask(task, std::current_exception());
+        }
+        return;
+    }
+
+    // Cross-signature path: every member shares one warm context, so
+    // the whole run signs as one lockstep lane group.
+    const WarmContext &warm = *tasks[0]->warm;
+    std::unique_ptr<SignTask> sts[LaneScheduler::maxGroup];
+    SignTask *ptrs[LaneScheduler::maxGroup];
+    unsigned live[LaneScheduler::maxGroup];
+    unsigned nlive = 0;
+    for (unsigned i = 0; i < count; ++i) {
+        try {
+            sts[nlive] = std::make_unique<SignTask>(
+                warm.ctx, warm.key->sk, tasks[i]->msg,
+                tasks[i]->optRand);
+            ptrs[nlive] = sts[nlive].get();
+            live[nlive] = i;
+            ++nlive;
+        } catch (...) {
+            failTask(*tasks[i], std::current_exception());
+        }
+    }
+    if (nlive == 0)
+        return;
+    bool ran = false;
+    try {
+        LaneScheduler::run(ptrs, nlive);
+        ran = true;
+    } catch (...) {
+        for (unsigned i = 0; i < nlive; ++i)
+            failTask(*tasks[live[i]], std::current_exception());
+    }
+    if (!ran)
+        return;
+    laneGroups_.fetch_add(1, std::memory_order_relaxed);
+    crossSignJobs_.fetch_add(nlive, std::memory_order_relaxed);
+    for (unsigned i = 0; i < nlive; ++i) {
+        try {
+            finishTask(*tasks[live[i]], sts[i]->takeSignature());
+        } catch (...) {
+            failTask(*tasks[live[i]], std::current_exception());
+        }
     }
 }
 
@@ -116,29 +253,38 @@ void
 SignService::workerLoop(unsigned id)
 {
     const unsigned home = id % queue_.shards();
+    std::vector<Task> chunk;
+    chunk.reserve(coalesce_);
     Task task;
     while (queue_.pop(task, home)) {
-        try {
-            ByteVec sig = task.warm->scheme.sign(
-                task.warm->ctx, task.msg, task.warm->key->sk,
-                task.optRand);
-            task.tenant->signsCompleted.fetch_add(
-                1, std::memory_order_relaxed);
-            task.promise.set_value(std::move(sig));
-        } catch (...) {
-            failures_.fetch_add(1, std::memory_order_relaxed);
-            task.tenant->signFailures.fetch_add(
-                1, std::memory_order_relaxed);
-            task.promise.set_exception(std::current_exception());
+        // Coalesce whatever is already queued — never wait for more.
+        chunk.clear();
+        chunk.push_back(std::move(task));
+        while (chunk.size() < coalesce_ && queue_.tryPop(task, home))
+            chunk.push_back(std::move(task));
+
+        // Partition by warm context: only jobs sharing one context
+        // (one tenant key) may sign in lockstep. Submission order is
+        // preserved within each group.
+        std::vector<char> used(chunk.size(), 0);
+        Task *group[LaneScheduler::maxGroup];
+        for (size_t i = 0; i < chunk.size(); ++i) {
+            if (used[i])
+                continue;
+            unsigned n = 0;
+            group[n++] = &chunk[i];
+            used[i] = 1;
+            const WarmContext *ctx = chunk[i].warm.get();
+            for (size_t j = i + 1;
+                 j < chunk.size() && n < LaneScheduler::maxGroup;
+                 ++j) {
+                if (!used[j] && chunk[j].warm.get() == ctx) {
+                    group[n++] = &chunk[j];
+                    used[j] = 1;
+                }
+            }
+            signSameContextGroup(group, n);
         }
-        task.warm.reset(); // release the context pin promptly
-        admission_->release(Plane::Sign, *task.tenant);
-        {
-            std::lock_guard<std::mutex> lk(drainM_);
-            completed_.fetch_add(1, std::memory_order_release);
-            lastCompletion_ = std::chrono::steady_clock::now();
-        }
-        drainCv_.notify_all();
     }
 }
 
@@ -164,6 +310,9 @@ SignService::stats() const
     st.signsCompleted = completed_.load(std::memory_order_acquire);
     st.signsSubmitted = submitted_.load(std::memory_order_acquire);
     st.signsRejected = rejected_.load(std::memory_order_relaxed);
+    st.signLaneGroups = laneGroups_.load(std::memory_order_relaxed);
+    st.signCrossSignJobs =
+        crossSignJobs_.load(std::memory_order_relaxed);
     st.inFlight = st.signsSubmitted - st.signsCompleted;
     st.queueDepth = queue_.sizeApprox();
     {

@@ -4,8 +4,12 @@
  * serves every registered key — each request is routed through the
  * warm ContextCache at admission, so the only per-tenant cost is the
  * first touch (one Context construction) and the hot path signs with
- * shared immutable state only. Admission control is a bounded
- * pending-job cap surfaced through the unified ServiceStats.
+ * shared immutable state only. Workers coalesce queued jobs per pass
+ * and sign each same-context (same-tenant) run as one cross-signature
+ * lane group via batch::LaneScheduler, so SIMD hash lanes fill across
+ * signatures even under interleaved multi-tenant traffic. Admission
+ * control is a bounded pending-job cap surfaced through the unified
+ * ServiceStats.
  */
 
 #ifndef HEROSIGN_SERVICE_SIGN_SERVICE_HH
@@ -17,11 +21,13 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <stdexcept>
 #include <thread>
 #include <vector>
 
 #include "batch/mpmc_queue.hh"
+#include "batch/sign_request.hh"
 #include "service/admission.hh"
 #include "service/context_cache.hh"
 #include "service/key_store.hh"
@@ -64,11 +70,27 @@ class SignService
     SignService &operator=(const SignService &) = delete;
 
     /**
-     * Queue one message for tenant @p key_id; the future yields the
-     * signature (or the exception signing raised).
+     * Queue one request for tenant @p key_id; the future yields the
+     * signature (or the exception signing raised). The request's
+     * callback, when set, runs on the worker thread with the
+     * service-wide submission sequence number.
      * @throws std::invalid_argument for unknown or verify-only keys
      * @throws ServiceOverload when the pending cap is hit
      */
+    std::future<ByteVec> submit(const std::string &key_id,
+                                batch::SignRequest req);
+
+    /**
+     * Queue a batch for one tenant; futures are in request order and
+     * every per-request field (optRand, callback) is honored. The
+     * requests are consumed (moved from). Throws on the first request
+     * an admission limit refuses — earlier requests stay queued.
+     */
+    std::vector<std::future<ByteVec>>
+    submitMany(const std::string &key_id,
+               std::span<batch::SignRequest> reqs);
+
+    /** Legacy positional shim for submit(key_id, SignRequest). */
     std::future<ByteVec> submitSign(const std::string &key_id,
                                     ByteVec msg, ByteVec opt_rand = {});
 
@@ -90,6 +112,9 @@ class SignService
     {
         return static_cast<unsigned>(workers_.size());
     }
+
+    /** Jobs one worker coalesces per pass (1 = no coalescing). */
+    unsigned coalesceWindow() const { return coalesce_; }
 
     const std::shared_ptr<ContextCache> &contextCache() const
     {
@@ -114,8 +139,10 @@ class SignService
     {
         std::shared_ptr<const WarmContext> warm;
         TenantCounters *tenant = nullptr;
+        uint64_t seq = 0;
         ByteVec msg;
         ByteVec optRand;
+        batch::SignCallback callback;
         std::promise<ByteVec> promise;
     };
 
@@ -125,6 +152,10 @@ class SignService
     };
 
     void workerLoop(unsigned id);
+    void finishTask(Task &task, ByteVec sig);
+    void failTask(Task &task, std::exception_ptr err);
+    void noteCompletion();
+    void signSameContextGroup(Task *const tasks[], unsigned count);
 
     KeyStore &store_;
     ServiceConfig config_;
@@ -132,12 +163,15 @@ class SignService
     std::shared_ptr<StatsRegistry> statsReg_;
     std::shared_ptr<AdmissionController> admission_;
     batch::ShardedMpmcQueue<Task> queue_;
+    unsigned coalesce_;
     std::vector<std::unique_ptr<Worker>> workers_;
 
     std::atomic<uint64_t> submitted_{0};
     std::atomic<uint64_t> completed_{0};
     std::atomic<uint64_t> failures_{0};
     std::atomic<uint64_t> rejected_{0};
+    std::atomic<uint64_t> laneGroups_{0};
+    std::atomic<uint64_t> crossSignJobs_{0};
 
     // Epoch bookkeeping for wall-clock rates, guarded by drainM_.
     mutable std::mutex drainM_;

@@ -179,9 +179,11 @@ VerifyService::verifyBatch(const std::string &key_id,
 }
 
 std::future<bool>
-VerifyService::submitVerify(const std::string &key_id, ByteVec msg,
-                            ByteVec sig)
+VerifyService::submit(const std::string &key_id,
+                      batch::VerifyRequest req)
 {
+    ByteVec msg = std::move(req.message);
+    ByteVec sig = std::move(req.signature);
     auto key = store_.find(key_id);
     if (!key) {
         // Reject-not-throw, mirroring the synchronous path: a bad key
@@ -229,6 +231,25 @@ VerifyService::submitVerify(const std::string &key_id, ByteVec msg,
         noteCompletion(1);
         throw;
     }
+}
+
+std::vector<std::future<bool>>
+VerifyService::submitMany(const std::string &key_id,
+                          std::span<batch::VerifyRequest> reqs)
+{
+    std::vector<std::future<bool>> futures;
+    futures.reserve(reqs.size());
+    for (batch::VerifyRequest &r : reqs)
+        futures.push_back(submit(key_id, std::move(r)));
+    return futures;
+}
+
+std::future<bool>
+VerifyService::submitVerify(const std::string &key_id, ByteVec msg,
+                            ByteVec sig)
+{
+    return submit(key_id,
+                  batch::VerifyRequest{std::move(msg), std::move(sig)});
 }
 
 void

@@ -29,11 +29,13 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <span>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "batch/mpmc_queue.hh"
+#include "batch/sign_request.hh"
 #include "service/admission.hh"
 #include "service/context_cache.hh"
 #include "service/key_store.hh"
@@ -119,6 +121,19 @@ class VerifyService
      * — without consuming admission budget.
      * @throws ServiceOverload when an admission limit trips
      */
+    std::future<bool> submit(const std::string &key_id,
+                             batch::VerifyRequest req);
+
+    /**
+     * Queue a batch for one tenant; futures are in request order. The
+     * requests are consumed (moved from). Throws on the first request
+     * an admission limit refuses — earlier requests stay queued.
+     */
+    std::vector<std::future<bool>>
+    submitMany(const std::string &key_id,
+               std::span<batch::VerifyRequest> reqs);
+
+    /** Legacy positional shim for submit(key_id, VerifyRequest). */
     std::future<bool> submitVerify(const std::string &key_id,
                                    ByteVec msg, ByteVec sig);
 

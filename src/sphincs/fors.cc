@@ -52,6 +52,44 @@ forsGenLeaf(uint8_t *out, const Context &ctx, const Address &fors_adrs,
 }
 
 void
+forsLeafBatch(const Context &ctx, const ForsLeafReq reqs[],
+              unsigned count)
+{
+    const unsigned n = ctx.params().n;
+    uint8_t sks[maxHashLanes * maxN];
+    Address adrs[maxHashLanes];
+    uint8_t *outs[maxHashLanes];
+    const uint8_t *ins[maxHashLanes];
+
+    for (unsigned base = 0; base < count; base += maxHashLanes) {
+        const unsigned m = std::min(maxHashLanes, count - base);
+
+        // Secret leaf values, one PRF batch.
+        for (unsigned j = 0; j < m; ++j) {
+            const ForsLeafReq &r = reqs[base + j];
+            adrs[j] = r.adrs;
+            adrs[j].setType(AddrType::ForsPrf);
+            adrs[j].setKeypair(r.adrs.keypair());
+            adrs[j].setTreeHeight(0);
+            adrs[j].setTreeIndex(r.idx);
+            outs[j] = sks + static_cast<size_t>(j) * n;
+        }
+        prfAddrX(outs, ctx, adrs, m);
+
+        // Leaves = F(sk), one batch.
+        for (unsigned j = 0; j < m; ++j) {
+            const ForsLeafReq &r = reqs[base + j];
+            adrs[j] = r.adrs;
+            adrs[j].setTreeHeight(0);
+            adrs[j].setTreeIndex(r.idx);
+            outs[j] = r.out;
+            ins[j] = sks + static_cast<size_t>(j) * n;
+        }
+        thashFX(outs, ctx, adrs, ins, m);
+    }
+}
+
+void
 forsGenLeavesXN(uint8_t *out, const Context &ctx, const Address &fors_adrs,
                 uint32_t idx0, unsigned count)
 {
@@ -59,32 +97,13 @@ forsGenLeavesXN(uint8_t *out, const Context &ctx, const Address &fors_adrs,
         throw std::invalid_argument(
             "forsGenLeavesXN: count must be 1..16");
     const unsigned n = ctx.params().n;
-    uint8_t sks[maxHashLanes * maxN];
-    Address adrs[maxHashLanes];
-    uint8_t *outs[maxHashLanes];
-    const uint8_t *ins[maxHashLanes];
-
-    // Secret leaf values, one PRF batch.
-    Address sk_base = fors_adrs;
-    sk_base.setType(AddrType::ForsPrf);
-    sk_base.setKeypair(fors_adrs.keypair());
+    ForsLeafReq reqs[maxHashLanes];
     for (unsigned j = 0; j < count; ++j) {
-        adrs[j] = sk_base;
-        adrs[j].setTreeHeight(0);
-        adrs[j].setTreeIndex(idx0 + j);
-        outs[j] = sks + static_cast<size_t>(j) * n;
+        reqs[j].adrs = fors_adrs;
+        reqs[j].idx = idx0 + j;
+        reqs[j].out = out + static_cast<size_t>(j) * n;
     }
-    prfAddrX(outs, ctx, adrs, count);
-
-    // Leaves = F(sk), one batch.
-    for (unsigned j = 0; j < count; ++j) {
-        adrs[j] = fors_adrs;
-        adrs[j].setTreeHeight(0);
-        adrs[j].setTreeIndex(idx0 + j);
-        outs[j] = out + static_cast<size_t>(j) * n;
-        ins[j] = sks + static_cast<size_t>(j) * n;
-    }
-    thashFX(outs, ctx, adrs, ins, count);
+    forsLeafBatch(ctx, reqs, count);
 }
 
 void

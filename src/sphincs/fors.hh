@@ -52,6 +52,30 @@ void forsGenLeavesXN(uint8_t *out, const Context &ctx,
                      unsigned count);
 
 /**
+ * One FORS leaf of pooled hash work: leaf @p idx (absolute index,
+ * tree * t + position) of the forest addressed by @p adrs, written to
+ * @p out. Requests in one forsLeafBatch() call may come from
+ * different trees, keypairs and signatures — each carries its own
+ * base address — so the cross-signature LaneScheduler can fill hash
+ * lanes across in-flight signatures.
+ */
+struct ForsLeafReq
+{
+    Address adrs;          ///< ForsTree-typed, layer/tree/keypair set
+    uint32_t idx = 0;      ///< absolute leaf index
+    uint8_t *out = nullptr; ///< n bytes
+};
+
+/**
+ * Compute @p count FORS leaves described by @p reqs, pooling the PRF
+ * and F calls into lane batches of the dispatched width
+ * (maxHashLanes leaves per internal sub-batch). Byte-identical to
+ * per-leaf forsGenLeaf() calls at every width. @p count is unbounded.
+ */
+void forsLeafBatch(const Context &ctx, const ForsLeafReq reqs[],
+                   unsigned count);
+
+/**
  * FORS signature: for each of the k trees, the selected secret value
  * followed by its authentication path.
  * @param sig out, forsSigBytes()

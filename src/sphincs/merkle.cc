@@ -11,22 +11,172 @@ namespace herosign::sphincs
 {
 
 void
+TreehashStream::begin(const Context &ctx, unsigned height,
+                      uint32_t leaf_idx, uint32_t idx_offset,
+                      uint8_t *auth_path, const Address &tree_adrs)
+{
+    if (height > maxHeight)
+        throw std::invalid_argument(
+            "TreehashStream: height exceeds bound");
+    ctx_ = &ctx;
+    adrs_ = tree_adrs;
+    auth_ = auth_path;
+    leafIdx_ = leaf_idx;
+    idxOffset_ = idx_offset;
+    next_ = 0;
+    total_ = 1u << height;
+    height_ = height;
+    sp_ = 0;
+}
+
+void
+TreehashStream::absorbOne(const uint8_t *leaf)
+{
+    const unsigned n = ctx_->params().n;
+    const uint32_t idx = next_;
+    uint8_t node[maxN];
+    std::memcpy(node, leaf, n);
+
+    unsigned node_height = 0;
+    if (auth_ && (leafIdx_ ^ 1u) == idx)
+        std::memcpy(auth_, node, n);
+
+    while (sp_ > 0 && stackHeights_[sp_ - 1] == node_height) {
+        // Combine the stacked left sibling with this node.
+        adrs_.setTreeHeight(node_height + 1);
+        adrs_.setTreeIndex((idx >> (node_height + 1)) +
+                           (idxOffset_ >> (node_height + 1)));
+        const uint8_t *left = stack_ + static_cast<size_t>(sp_ - 1) * n;
+        thashH(node, *ctx_, adrs_, left, node);
+        --sp_;
+        ++node_height;
+
+        if (auth_ && ((leafIdx_ >> node_height) ^ 1u) ==
+                         (idx >> node_height)) {
+            std::memcpy(auth_ + node_height * n, node, n);
+        }
+    }
+    std::memcpy(stack_ + static_cast<size_t>(sp_) * n, node, n);
+    stackHeights_[sp_] = node_height;
+    ++sp_;
+    ++next_;
+}
+
+void
+TreehashStream::absorb(const uint8_t *leaves, uint32_t count)
+{
+    if (!ctx_)
+        throw std::logic_error("TreehashStream: absorb before begin");
+    if (next_ + count > total_)
+        throw std::invalid_argument(
+            "TreehashStream: absorbing past the leaf count");
+    const unsigned n = ctx_->params().n;
+    for (uint32_t i = 0; i < count; ++i)
+        absorbOne(leaves + static_cast<size_t>(i) * n);
+}
+
+const uint8_t *
+TreehashStream::root() const
+{
+    if (!done())
+        throw std::logic_error(
+            "TreehashStream: root before all leaves absorbed");
+    return stack_;
+}
+
+void
+TreehashStream::absorbLockstep(TreehashStream *const streams[],
+                               const uint8_t *const leaves[],
+                               unsigned count)
+{
+    if (count == 0 || count > maxHashLanes)
+        throw std::invalid_argument(
+            "TreehashStream::absorbLockstep: count must be 1..16");
+    const TreehashStream &lead = *streams[0];
+    if (!lead.ctx_)
+        throw std::logic_error(
+            "TreehashStream: absorbLockstep before begin");
+    for (unsigned l = 1; l < count; ++l) {
+        if (streams[l]->ctx_ != lead.ctx_ ||
+            streams[l]->height_ != lead.height_ ||
+            streams[l]->next_ != lead.next_)
+            throw std::invalid_argument(
+                "TreehashStream::absorbLockstep: streams must share "
+                "context, height and absorbed count");
+    }
+
+    const unsigned n = lead.ctx_->params().n;
+    const uint32_t idx = lead.next_;
+    if (idx >= lead.total_)
+        throw std::invalid_argument(
+            "TreehashStream: absorbing past the leaf count");
+
+    // Per-stream current node plus the left||right pair scratch each
+    // batched combine hashes from.
+    uint8_t nodes[maxHashLanes][maxN];
+    uint8_t pairs[maxHashLanes][2 * maxN];
+    Address adrs[maxHashLanes];
+    uint8_t *outs[maxHashLanes];
+    const uint8_t *ins[maxHashLanes];
+    for (unsigned l = 0; l < count; ++l) {
+        std::memcpy(nodes[l], leaves[l], n);
+        TreehashStream &s = *streams[l];
+        if (s.auth_ && (s.leafIdx_ ^ 1u) == idx)
+            std::memcpy(s.auth_, nodes[l], n);
+        outs[l] = nodes[l];
+        ins[l] = pairs[l];
+    }
+
+    // Same-shape streams at the same position collapse identically,
+    // so the cascade depth is shared and each level is one batch.
+    unsigned node_height = 0;
+    while (lead.sp_ > 0 &&
+           lead.stackHeights_[lead.sp_ - 1] == node_height) {
+        for (unsigned l = 0; l < count; ++l) {
+            TreehashStream &s = *streams[l];
+            s.adrs_.setTreeHeight(node_height + 1);
+            s.adrs_.setTreeIndex((idx >> (node_height + 1)) +
+                                 (s.idxOffset_ >> (node_height + 1)));
+            adrs[l] = s.adrs_;
+            const uint8_t *left =
+                s.stack_ + static_cast<size_t>(s.sp_ - 1) * n;
+            std::memcpy(pairs[l], left, n);
+            std::memcpy(pairs[l] + n, nodes[l], n);
+        }
+        thashX(outs, *lead.ctx_, adrs, ins, 2 * static_cast<size_t>(n),
+               count);
+        ++node_height;
+        for (unsigned l = 0; l < count; ++l) {
+            TreehashStream &s = *streams[l];
+            --s.sp_;
+            if (s.auth_ && ((s.leafIdx_ >> node_height) ^ 1u) ==
+                               (idx >> node_height))
+                std::memcpy(s.auth_ + node_height * n, nodes[l], n);
+        }
+    }
+
+    for (unsigned l = 0; l < count; ++l) {
+        TreehashStream &s = *streams[l];
+        std::memcpy(s.stack_ + static_cast<size_t>(s.sp_) * n, nodes[l],
+                    n);
+        s.stackHeights_[s.sp_] = node_height;
+        ++s.sp_;
+        ++s.next_;
+    }
+}
+
+void
 treehash(uint8_t *root, uint8_t *auth_path, const Context &ctx,
          uint32_t leaf_idx, uint32_t idx_offset, unsigned height,
          BatchLeafRef gen_leaves, Address &tree_adrs)
 {
     const unsigned n = ctx.params().n;
-    constexpr unsigned max_height =
-        maxTreeHeight > maxForsHeight ? maxTreeHeight : maxForsHeight;
-    if (height > max_height)
-        throw std::invalid_argument("treehash: height exceeds bound");
 
-    // Node stack: at most height+1 entries, each n bytes, plus the
-    // height of each stacked node. Fixed-size so the hot path never
-    // touches the heap.
-    uint8_t stack[(max_height + 1) * maxN];
-    unsigned stack_heights[max_height + 1];
-    unsigned sp = 0;
+    // One stream absorbing full lane-width leaf batches reproduces
+    // the historical one-shot treehash hash for hash.
+    TreehashStream stream;
+    stream.begin(ctx, height, leaf_idx, idx_offset, auth_path,
+                 tree_adrs);
 
     uint8_t leaf_buf[maxHashLanes * maxN];
     const uint32_t leaves = 1u << height;
@@ -34,38 +184,9 @@ treehash(uint8_t *root, uint8_t *auth_path, const Context &ctx,
     for (uint32_t base = 0; base < leaves; base += width) {
         const uint32_t batch = std::min<uint32_t>(width, leaves - base);
         gen_leaves(leaf_buf, base, batch);
-
-        for (uint32_t b = 0; b < batch; ++b) {
-            const uint32_t idx = base + b;
-            uint8_t node[maxN];
-            std::memcpy(node, leaf_buf + static_cast<size_t>(b) * n, n);
-
-            unsigned node_height = 0;
-            if (auth_path && (leaf_idx ^ 1u) == idx)
-                std::memcpy(auth_path, node, n);
-
-            while (sp > 0 && stack_heights[sp - 1] == node_height) {
-                // Combine the stacked left sibling with this node.
-                tree_adrs.setTreeHeight(node_height + 1);
-                tree_adrs.setTreeIndex((idx >> (node_height + 1)) +
-                                       (idx_offset >> (node_height + 1)));
-                const uint8_t *left =
-                    stack + static_cast<size_t>(sp - 1) * n;
-                thashH(node, ctx, tree_adrs, left, node);
-                --sp;
-                ++node_height;
-
-                if (auth_path && ((leaf_idx >> node_height) ^ 1u) ==
-                                     (idx >> node_height)) {
-                    std::memcpy(auth_path + node_height * n, node, n);
-                }
-            }
-            std::memcpy(stack + static_cast<size_t>(sp) * n, node, n);
-            stack_heights[sp] = node_height;
-            ++sp;
-        }
+        stream.absorb(leaf_buf, batch);
     }
-    std::memcpy(root, stack, n);
+    std::memcpy(root, stream.root(), n);
 }
 
 void

@@ -63,6 +63,94 @@ class BatchLeafRef
 };
 
 /**
+ * Incremental stack-based treehash over one Merkle tree: leaves are
+ * absorbed in index order (any batch sizes), the root and the
+ * authentication path for one leaf fall out once all 2^height leaves
+ * have been absorbed. This is the resumable core the cross-signature
+ * LaneScheduler drives — a signing context parks a stream per tree
+ * and an external pool feeds it leaves — and the one-shot treehash()
+ * below is a thin wrapper over it, so the two paths are
+ * byte-identical by construction.
+ *
+ * Streams of identical shape (same height, absorbed in lockstep) can
+ * additionally pool their node-combine hashes across trees via
+ * absorbLockstep(): same-shape trees at the same leaf position have
+ * identical stack states, so every combine triggered by one absorbed
+ * leaf runs as one lane-batched thashX call across the group instead
+ * of per-tree scalar calls.
+ */
+class TreehashStream
+{
+  public:
+    /** Largest tree height a stream can hold. */
+    static constexpr unsigned maxHeight =
+        maxTreeHeight > maxForsHeight ? maxTreeHeight : maxForsHeight;
+
+    TreehashStream() = default;
+
+    /**
+     * Arm the stream for one tree. Absorbed-leaf state resets.
+     * @param ctx hashing context (must outlive the stream's use)
+     * @param height tree height (at most maxHeight)
+     * @param leaf_idx leaf whose auth path to extract (local index)
+     * @param idx_offset added to node indices in the hash addresses
+     * @param auth_path out, height * n bytes (nullptr to skip)
+     * @param tree_adrs address with layer/tree/type set
+     */
+    void begin(const Context &ctx, unsigned height, uint32_t leaf_idx,
+               uint32_t idx_offset, uint8_t *auth_path,
+               const Address &tree_adrs);
+
+    /**
+     * Absorb @p count consecutive leaves (n bytes each, contiguous),
+     * combining nodes with scalar hash calls as the stack collapses.
+     */
+    void absorb(const uint8_t *leaves, uint32_t count);
+
+    /** Leaves absorbed so far. */
+    uint32_t absorbed() const { return next_; }
+
+    /** Total leaves this tree expects (2^height). */
+    uint32_t total() const { return total_; }
+
+    /** True once every leaf has been absorbed. */
+    bool done() const { return next_ == total_; }
+
+    /** The n-byte root; valid only when done(). */
+    const uint8_t *root() const;
+
+    /**
+     * Absorb one leaf into each of @p count same-shape streams in
+     * lockstep, running each collapse level as one thashX batch
+     * across the group. All streams must share one Context and have
+     * equal height and absorbed count (checked, throws
+     * std::invalid_argument); results are byte-identical to absorbing
+     * each stream separately.
+     * @param leaves count pointers to n-byte leaves (leaves[l] feeds
+     *        streams[l])
+     * @param count 1..maxHashLanes streams
+     */
+    static void absorbLockstep(TreehashStream *const streams[],
+                               const uint8_t *const leaves[],
+                               unsigned count);
+
+  private:
+    void absorbOne(const uint8_t *leaf);
+
+    const Context *ctx_ = nullptr;
+    Address adrs_;
+    uint8_t *auth_ = nullptr;
+    uint32_t leafIdx_ = 0;
+    uint32_t idxOffset_ = 0;
+    uint32_t next_ = 0;
+    uint32_t total_ = 0;
+    unsigned height_ = 0;
+    unsigned sp_ = 0;
+    uint8_t stack_[(maxHeight + 1) * maxN];
+    unsigned stackHeights_[maxHeight + 1];
+};
+
+/**
  * Stack-based treehash: computes the root of a 2^height-leaf Merkle
  * tree and the authentication path for @p leaf_idx. The leaf layer is
  * produced hashLaneWidth() leaves per callback so independent leaves

@@ -47,16 +47,28 @@ constexpr unsigned maxBatchChains = maxHashLanes * maxWotsLen;
  * stay full while at least W chains remain; the ragged tail falls
  * back to narrower kernels and scalar calls, keeping digests and
  * compression counts identical to the scalar path.
+ *
+ * When @p cap_out is non-null, chain c with cap_out[c] set copies its
+ * value to cap_out[c] the moment its position reaches cap_pos[c]
+ * (including a position already at the capture point on entry). The
+ * chain keeps advancing to end[c] afterwards — this is how a signing
+ * leaf's wotsSign() bytes fall out of its pk-generation walk.
  */
 void
 advanceChains(uint8_t *const vals[], Address adrs[], uint32_t pos[],
-              const uint32_t end[], unsigned num, const Context &ctx)
+              const uint32_t end[], unsigned num, const Context &ctx,
+              uint8_t *const cap_out[] = nullptr,
+              const uint32_t cap_pos[] = nullptr)
 {
+    const unsigned n = ctx.params().n;
     unsigned active[maxBatchChains];
     unsigned nactive = 0;
-    for (unsigned c = 0; c < num; ++c)
+    for (unsigned c = 0; c < num; ++c) {
+        if (cap_out && cap_out[c] && pos[c] == cap_pos[c])
+            std::memcpy(cap_out[c], vals[c], n);
         if (pos[c] < end[c])
             active[nactive++] = c;
+    }
 
     const unsigned width = hashLaneWidth();
     Address lane_adrs[maxHashLanes];
@@ -78,7 +90,10 @@ advanceChains(uint8_t *const vals[], Address adrs[], uint32_t pos[],
         unsigned w = 0;
         for (unsigned j = 0; j < m; ++j) {
             const unsigned c = active[j];
-            if (++pos[c] < end[c])
+            ++pos[c];
+            if (cap_out && cap_out[c] && pos[c] == cap_pos[c])
+                std::memcpy(cap_out[c], vals[c], n);
+            if (pos[c] < end[c])
                 active[w++] = c;
         }
         for (unsigned j = m; j < nactive; ++j)
@@ -157,64 +172,106 @@ wotsChainSk(uint8_t *out, const Context &ctx, Address &adrs,
 }
 
 void
-wotsPkGenXN(uint8_t *pk_out, const Context &ctx, uint32_t layer,
-            uint64_t tree, uint32_t leaf0, unsigned count)
+wotsLeafBatch(const Context &ctx, const WotsLeafReq reqs[],
+              unsigned count)
 {
-    if (count == 0 || count > maxHashLanes)
-        throw std::invalid_argument("wotsPkGenXN: count must be 1..16");
     const Params &p = ctx.params();
     const unsigned len = p.wotsLen();
     const unsigned n = p.n;
-    const unsigned total = count * len;
 
-    // Chain c (= leaf * len + i) lives at chains + c * n, so each
-    // leaf's chains are contiguous for the final T_len compression.
+    // Chain c (= local leaf * len + i) lives at chains + c * n, so
+    // each leaf's chains stay contiguous for its T_len compression.
     uint8_t chains[maxBatchChains * maxN];
     uint8_t *vals[maxBatchChains] = {};
     Address adrs[maxBatchChains];
     uint32_t pos[maxBatchChains];
     uint32_t end[maxBatchChains];
+    uint8_t *cap_out[maxBatchChains];
+    uint32_t cap_pos[maxBatchChains];
 
-    Address prf_base;
-    prf_base.setLayer(layer);
-    prf_base.setTree(tree);
-    prf_base.setType(AddrType::WotsPrf);
-    for (unsigned c = 0; c < total; ++c) {
-        vals[c] = chains + static_cast<size_t>(c) * n;
-        adrs[c] = prf_base;
-        adrs[c].setKeypair(leaf0 + c / len);
-        adrs[c].setChain(c % len);
-        adrs[c].setHash(0);
+    for (unsigned base = 0; base < count; base += maxHashLanes) {
+        const unsigned m = std::min(maxHashLanes, count - base);
+        const unsigned total = m * len;
+        bool any_capture = false;
+
+        for (unsigned j = 0; j < m; ++j) {
+            const WotsLeafReq &r = reqs[base + j];
+            Address prf_base;
+            prf_base.setLayer(r.layer);
+            prf_base.setTree(r.tree);
+            prf_base.setType(AddrType::WotsPrf);
+            prf_base.setKeypair(r.keypair);
+            for (unsigned i = 0; i < len; ++i) {
+                const unsigned c = j * len + i;
+                vals[c] = chains + static_cast<size_t>(c) * n;
+                adrs[c] = prf_base;
+                adrs[c].setChain(i);
+                adrs[c].setHash(0);
+                if (r.sigOut) {
+                    any_capture = true;
+                    cap_out[c] = r.sigOut + static_cast<size_t>(i) * n;
+                    cap_pos[c] = r.lengths[i];
+                } else {
+                    cap_out[c] = nullptr;
+                    cap_pos[c] = 0;
+                }
+            }
+        }
+        deriveChainSks(vals, adrs, total, ctx);
+
+        // All m * len chains advance the full w-1 steps in lockstep;
+        // capture chains copy out their signature value in passing.
+        for (unsigned j = 0; j < m; ++j) {
+            const WotsLeafReq &r = reqs[base + j];
+            Address hash_base;
+            hash_base.setLayer(r.layer);
+            hash_base.setTree(r.tree);
+            hash_base.setType(AddrType::WotsHash);
+            hash_base.setKeypair(r.keypair);
+            for (unsigned i = 0; i < len; ++i) {
+                const unsigned c = j * len + i;
+                adrs[c] = hash_base;
+                adrs[c].setChain(i);
+                pos[c] = 0;
+                end[c] = p.wotsW - 1;
+            }
+        }
+        advanceChains(vals, adrs, pos, end, total, ctx,
+                      any_capture ? cap_out : nullptr,
+                      any_capture ? cap_pos : nullptr);
+
+        // Compress each leaf's public key, batched across leaves.
+        Address pk_adrs[maxHashLanes];
+        uint8_t *pks[maxHashLanes];
+        const uint8_t *ins[maxHashLanes];
+        for (unsigned j = 0; j < m; ++j) {
+            const WotsLeafReq &r = reqs[base + j];
+            pk_adrs[j].setLayer(r.layer);
+            pk_adrs[j].setTree(r.tree);
+            pk_adrs[j].setType(AddrType::WotsPk);
+            pk_adrs[j].setKeypair(r.keypair);
+            pks[j] = r.leafOut;
+            ins[j] = chains + static_cast<size_t>(j) * len * n;
+        }
+        thashX(pks, ctx, pk_adrs, ins, static_cast<size_t>(len) * n, m);
     }
-    deriveChainSks(vals, adrs, total, ctx);
+}
 
-    // All count * len chains advance the full w-1 steps in lockstep.
-    Address hash_base;
-    hash_base.setLayer(layer);
-    hash_base.setTree(tree);
-    hash_base.setType(AddrType::WotsHash);
-    for (unsigned c = 0; c < total; ++c) {
-        adrs[c] = hash_base;
-        adrs[c].setKeypair(leaf0 + c / len);
-        adrs[c].setChain(c % len);
-        pos[c] = 0;
-        end[c] = p.wotsW - 1;
-    }
-    advanceChains(vals, adrs, pos, end, total, ctx);
-
-    // Compress each leaf's public key, batched across leaves.
-    Address pk_adrs[maxHashLanes];
-    uint8_t *pks[maxHashLanes];
-    const uint8_t *ins[maxHashLanes];
+void
+wotsPkGenXN(uint8_t *pk_out, const Context &ctx, uint32_t layer,
+            uint64_t tree, uint32_t leaf0, unsigned count)
+{
+    if (count == 0 || count > maxHashLanes)
+        throw std::invalid_argument("wotsPkGenXN: count must be 1..16");
+    const unsigned n = ctx.params().n;
+    WotsLeafReq reqs[maxHashLanes];
     for (unsigned j = 0; j < count; ++j) {
-        pk_adrs[j].setLayer(layer);
-        pk_adrs[j].setTree(tree);
-        pk_adrs[j].setType(AddrType::WotsPk);
-        pk_adrs[j].setKeypair(leaf0 + j);
-        pks[j] = pk_out + static_cast<size_t>(j) * n;
-        ins[j] = chains + static_cast<size_t>(j) * len * n;
+        reqs[j].layer = layer;
+        reqs[j].tree = tree;
+        reqs[j].keypair = leaf0 + j;
+        reqs[j].leafOut = pk_out + static_cast<size_t>(j) * n;
     }
-    thashX(pks, ctx, pk_adrs, ins, static_cast<size_t>(len) * n, count);
+    wotsLeafBatch(ctx, reqs, count);
 }
 
 void

@@ -67,6 +67,44 @@ void wotsPkGenXN(uint8_t *pk_out, const Context &ctx, uint32_t layer,
                  uint64_t tree, uint32_t leaf0, unsigned count);
 
 /**
+ * One WOTS+ leaf of pooled hash work: generate the compressed public
+ * key for keypair @p keypair of subtree (layer, tree), optionally
+ * capturing the signature chain values on the way. The leaves of one
+ * wotsLeafBatch() call may come from different layers, trees and
+ * signatures — each request carries its own addressing — which is
+ * what lets the cross-signature LaneScheduler keep the hash lanes
+ * full on parameter shapes whose subtrees are narrower than the lane
+ * width.
+ *
+ * When @p sigOut is set, @p lengths must point at the wotsLen()
+ * chain-length digits of the message this keypair signs; sigOut[i]
+ * receives the chain-i value at position lengths[i] — exactly the
+ * bytes wotsSign() produces, captured for free while the chains run
+ * to w-1 for the leaf, so the signing leaf costs no separate
+ * chain-walk.
+ */
+struct WotsLeafReq
+{
+    uint32_t layer = 0;
+    uint64_t tree = 0;
+    uint32_t keypair = 0;
+    uint8_t *leafOut = nullptr;      ///< n bytes: compressed pk
+    uint8_t *sigOut = nullptr;       ///< optional, wotsSigBytes()
+    const uint32_t *lengths = nullptr; ///< wotsLen() capture positions
+};
+
+/**
+ * Generate @p count WOTS+ leaves described by @p reqs with every hash
+ * pooled across requests: chain-start PRFs, chain steps and the final
+ * T_len compressions all run in lane batches of the dispatched width,
+ * maxHashLanes leaves per internal sub-batch. Leaf and captured
+ * signature bytes are identical to per-leaf wotsPkGen()/wotsSign()
+ * calls at every width. @p count is unbounded.
+ */
+void wotsLeafBatch(const Context &ctx, const WotsLeafReq reqs[],
+                   unsigned count);
+
+/**
  * Sign an n-byte message (a root) with the selected WOTS+ keypair.
  * @param sig out, wotsSigBytes() = len * n
  */

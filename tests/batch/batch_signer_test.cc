@@ -167,9 +167,102 @@ TEST(BatchSigner, ZeroMessageSubmitMany)
     auto kp = scheme.keygenFromSeed(fixedSeed(p));
     BatchSigner signer(p, kp.sk);
 
-    auto futures = signer.submitMany({});
+    auto futures = signer.submitMany(std::vector<ByteVec>{});
     EXPECT_TRUE(futures.empty());
     EXPECT_EQ(signer.drain().jobs, 0u);
+}
+
+TEST(BatchSigner, SubmitManyPreservesOptRandAndCallbacks)
+{
+    // Regression: the message-only submitMany used to flatten batches
+    // through submit(msg), silently dropping any per-request signing
+    // randomness and completion callback. The request-struct overload
+    // must honor both for every batch member.
+    const Params p = miniParams();
+    SphincsPlus scheme(p);
+    auto kp = scheme.keygenFromSeed(fixedSeed(p));
+
+    BatchSignerConfig cfg;
+    cfg.workers = 4;
+    cfg.shards = 2;
+    BatchSigner signer(p, kp.sk, cfg);
+
+    constexpr unsigned count = 10;
+    std::mutex m;
+    std::vector<std::string> bySeq(count);
+    std::vector<SignRequest> reqs(count);
+    std::vector<ByteVec> msgs, rands;
+    for (unsigned i = 0; i < count; ++i) {
+        msgs.push_back(patternMsg(24, static_cast<uint8_t>(i)));
+        rands.push_back(i % 2 ? ByteVec(p.n, uint8_t(0x11 * i))
+                              : ByteVec{});
+        reqs[i].message = msgs[i];
+        reqs[i].optRand = rands[i];
+        reqs[i].callback = [&](uint64_t seq, const ByteVec &sig) {
+            std::lock_guard<std::mutex> lk(m);
+            bySeq.at(seq) = hexEncode(sig);
+        };
+    }
+    auto futures = signer.submitMany(std::span<SignRequest>(reqs));
+    ASSERT_EQ(futures.size(), count);
+    for (unsigned i = 0; i < count; ++i) {
+        const std::string got = hexEncode(futures[i].get());
+        // Per-request opt_rand reached the signer (the deterministic
+        // and randomized references differ, so a dropped optRand
+        // would fail here)...
+        EXPECT_EQ(got, hexEncode(scheme.sign(msgs[i], kp.sk, rands[i])))
+            << i;
+        // ...and so did the per-request callback.
+        EXPECT_EQ(bySeq[i], got) << i;
+    }
+    EXPECT_EQ(signer.drain().failures, 0u);
+}
+
+TEST(BatchSigner, CoalescedGroupsByteMatchScalar)
+{
+    // Cross-signature coalescing at several worker counts: whatever
+    // group shapes the queue races produce, output bytes must match
+    // the scalar path per message.
+    const Params p = miniParams();
+    SphincsPlus scheme(p);
+    auto kp = scheme.keygenFromSeed(fixedSeed(p));
+    auto msgs = patternBatch(24, 20);
+
+    std::vector<std::string> ref;
+    for (const auto &msg : msgs)
+        ref.push_back(hexEncode(scheme.sign(msg, kp.sk)));
+
+    for (unsigned workers : {1u, 4u, 16u}) {
+        BatchSignerConfig cfg;
+        cfg.workers = workers;
+        cfg.shards = 2;
+        BatchSigner signer(p, kp.sk, cfg);
+        auto futures = signer.submitMany(msgs);
+        for (size_t i = 0; i < msgs.size(); ++i)
+            EXPECT_EQ(hexEncode(futures[i].get()), ref[i])
+                << "workers=" << workers << " msg=" << i;
+        auto st = signer.drain();
+        EXPECT_EQ(st.failures, 0u);
+        EXPECT_LE(st.crossSignJobs, st.jobs);
+    }
+}
+
+TEST(BatchSigner, LaneGroupOneDisablesCoalescing)
+{
+    const Params p = miniParams();
+    SphincsPlus scheme(p);
+    auto kp = scheme.keygenFromSeed(fixedSeed(p));
+
+    BatchSignerConfig cfg;
+    cfg.laneGroup = 1;
+    BatchSigner signer(p, kp.sk, cfg);
+    EXPECT_EQ(signer.laneGroup(), 1u);
+    auto futures = signer.submitMany(patternBatch(8, 16));
+    for (auto &f : futures)
+        EXPECT_EQ(f.get().size(), p.sigBytes());
+    auto st = signer.drain();
+    EXPECT_EQ(st.laneGroups, 0u);
+    EXPECT_EQ(st.crossSignJobs, 0u);
 }
 
 TEST(BatchSigner, DrainSeparatesEpochs)

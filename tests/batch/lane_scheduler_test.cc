@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Cross-signature lane batching correctness: LaneScheduler groups
+ * must produce signatures byte-identical to the scalar
+ * SphincsPlus::sign() path on every Table I parameter set, at every
+ * lane width (1 / 8 / 16), for ragged group sizes that don't divide
+ * the lane width, and mixed parameter-set groups must reject cleanly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "batch/lane_scheduler.hh"
+#include "batch_test_util.hh"
+#include "hash/sha256xN.hh"
+#include "sphincs/sign_task.hh"
+#include "sphincs/sphincs.hh"
+
+using namespace herosign;
+using namespace herosign::batchtest;
+using batch::LaneScheduler;
+using sphincs::Context;
+using sphincs::Params;
+using sphincs::SignTask;
+using sphincs::SphincsPlus;
+
+namespace
+{
+
+/** Pin the lane engine to one width for a scope. */
+class ScopedWidth
+{
+  public:
+    explicit ScopedWidth(unsigned width)
+    {
+        sha256LanesForceScalar(width == 1);
+        sha256LanesDisableAvx512(width == 8);
+    }
+    ~ScopedWidth()
+    {
+        sha256LanesForceScalar(false);
+        sha256LanesDisableAvx512(false);
+    }
+};
+
+/** opt_rand for message i: empty (deterministic) for even i. */
+ByteVec
+optRandFor(const Params &p, unsigned i)
+{
+    if (i % 2 == 0)
+        return {};
+    ByteVec r(p.n);
+    for (unsigned j = 0; j < p.n; ++j)
+        r[j] = static_cast<uint8_t>(0xA0 + 7 * i + j);
+    return r;
+}
+
+} // namespace
+
+TEST(LaneSchedulerTest, GroupsMatchScalarOnAllSetsWidthsAndSizes)
+{
+    for (const Params &p : Params::all()) {
+        SphincsPlus scheme(p);
+        const auto kp = scheme.keygenFromSeed(fixedSeed(p));
+        Context ctx(p, kp.sk.pkSeed, kp.sk.skSeed);
+
+        // Scalar-width references: the ground truth every pooled
+        // configuration must reproduce bit for bit.
+        constexpr unsigned maxMsgs = 5;
+        std::vector<ByteVec> msgs;
+        std::vector<ByteVec> rands;
+        std::vector<ByteVec> want;
+        {
+            ScopedWidth w(1);
+            for (unsigned i = 0; i < maxMsgs; ++i) {
+                msgs.push_back(patternMsg(48, static_cast<uint8_t>(i)));
+                rands.push_back(optRandFor(p, i));
+                want.push_back(
+                    scheme.sign(ctx, msgs[i], kp.sk, rands[i]));
+            }
+        }
+
+        for (unsigned width : {1u, 8u, 16u}) {
+            ScopedWidth w(width);
+            // Ragged sizes on purpose: 3 and 5 divide neither 8 nor
+            // 16, so partial lane groups and tail chains exercise
+            // the fallback kernels.
+            for (unsigned group : {1u, 3u, 5u}) {
+                std::vector<ByteSpan> msg_spans, rand_spans;
+                for (unsigned i = 0; i < group; ++i) {
+                    msg_spans.emplace_back(msgs[i]);
+                    rand_spans.emplace_back(rands[i]);
+                }
+                std::vector<ByteVec> got(group);
+                LaneScheduler::signGroup(ctx, kp.sk, msg_spans.data(),
+                                         rand_spans.data(), got.data(),
+                                         group);
+                for (unsigned i = 0; i < group; ++i)
+                    EXPECT_EQ(got[i], want[i])
+                        << p.name << " width=" << width
+                        << " group=" << group << " msg=" << i;
+            }
+        }
+    }
+}
+
+TEST(LaneSchedulerTest, MixedParameterSetGroupRejects)
+{
+    const Params &pa = Params::sphincs128f();
+    const Params &pb = Params::sphincs192f();
+    SphincsPlus sa(pa), sb(pb);
+    const auto ka = sa.keygenFromSeed(fixedSeed(pa));
+    const auto kb = sb.keygenFromSeed(fixedSeed(pb));
+    Context ca(pa, ka.sk.pkSeed, ka.sk.skSeed);
+    Context cb(pb, kb.sk.pkSeed, kb.sk.skSeed);
+
+    const ByteVec msg = patternMsg(32);
+    SignTask ta(ca, ka.sk, msg);
+    SignTask tb(cb, kb.sk, msg);
+    SignTask *mixed[2] = {&ta, &tb};
+    EXPECT_THROW(LaneScheduler::run(mixed, 2), std::invalid_argument);
+
+    // Same parameter set but a different Context object is also a
+    // mixed shard: the group invariant is one warm context.
+    const auto ka2 = sa.keygenFromSeed(fixedSeed(pa, 99));
+    Context ca2(pa, ka2.sk.pkSeed, ka2.sk.skSeed);
+    SignTask ta2(ca2, ka2.sk, msg);
+    SignTask *twoKeys[2] = {&ta, &ta2};
+    EXPECT_THROW(LaneScheduler::run(twoKeys, 2),
+                 std::invalid_argument);
+}
+
+TEST(LaneSchedulerTest, OversizedGroupRejects)
+{
+    const Params p = miniParams();
+    SphincsPlus scheme(p);
+    const auto kp = scheme.keygenFromSeed(fixedSeed(p));
+    Context ctx(p, kp.sk.pkSeed, kp.sk.skSeed);
+
+    const unsigned count = LaneScheduler::maxGroup + 1;
+    std::vector<ByteVec> msgs = patternBatch(count);
+    std::vector<ByteSpan> spans(msgs.begin(), msgs.end());
+    std::vector<ByteVec> sigs(count);
+    EXPECT_THROW(LaneScheduler::signGroup(ctx, kp.sk, spans.data(),
+                                          nullptr, sigs.data(), count),
+                 std::invalid_argument);
+}
+
+TEST(LaneSchedulerTest, TaskEnforcesPhaseOrder)
+{
+    const Params p = miniParams();
+    SphincsPlus scheme(p);
+    const auto kp = scheme.keygenFromSeed(fixedSeed(p));
+    Context ctx(p, kp.sk.pkSeed, kp.sk.skSeed);
+
+    const ByteVec msg = patternMsg(32);
+    SignTask task(ctx, kp.sk, msg);
+    EXPECT_THROW(task.beginLayer(0), std::logic_error);
+    EXPECT_THROW(task.beginForsTree(1), std::logic_error);
+    EXPECT_THROW(task.takeSignature(), std::logic_error);
+
+    EXPECT_THROW(SignTask(ctx, kp.sk, msg, patternMsg(p.n + 1)),
+                 std::invalid_argument);
+}
+
+TEST(LaneSchedulerTest, FullGroupOnMiniParams)
+{
+    // A full maxGroup lockstep group on the cheap set, checked
+    // against scalar signing.
+    const Params p = miniParams();
+    SphincsPlus scheme(p);
+    const auto kp = scheme.keygenFromSeed(fixedSeed(p));
+    Context ctx(p, kp.sk.pkSeed, kp.sk.skSeed);
+
+    const unsigned count = LaneScheduler::maxGroup;
+    std::vector<ByteVec> msgs = patternBatch(count);
+    std::vector<ByteSpan> spans(msgs.begin(), msgs.end());
+    std::vector<ByteVec> sigs(count);
+    LaneScheduler::signGroup(ctx, kp.sk, spans.data(), nullptr,
+                             sigs.data(), count);
+    for (unsigned i = 0; i < count; ++i)
+        EXPECT_EQ(sigs[i], scheme.sign(ctx, msgs[i], kp.sk))
+            << "msg " << i;
+}

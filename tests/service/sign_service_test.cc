@@ -7,7 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
+#include <mutex>
 
 #include "../batch/batch_test_util.hh"
 #include "common/hex.hh"
@@ -91,6 +93,108 @@ TEST(SignService, RoutesTenantsByteIdentically)
         EXPECT_EQ(ts.signsCompleted, 4u) << id;
         EXPECT_GT(ts.sigsPerSec, 0.0) << id;
     }
+}
+
+// The unified request-struct surface: per-request optRand and
+// callbacks must survive the queue and the coalesced lane groups,
+// with output bytes identical to the scalar per-key path.
+TEST(SignService, RequestStructsCarryOptRandAndCallbacks)
+{
+    const auto p = miniParams();
+    Tenancy t;
+    addTenants(t, p, 2);
+
+    ServiceConfig cfg;
+    cfg.workers = 2;
+    cfg.shards = 2;
+    cfg.signCoalesce = 0; // auto: coalescing active
+    SignService svc(t.store, cfg);
+
+    std::mutex m;
+    std::map<uint64_t, std::string> cb_sigs;
+
+    std::vector<std::string> ids;
+    std::vector<ByteVec> msgs, rands;
+    std::vector<std::future<ByteVec>> futs;
+    for (unsigned i = 0; i < 10; ++i) {
+        const std::string id =
+            std::string("tenant-").append(std::to_string(i % 2));
+        batch::SignRequest req;
+        req.message = patternMsg(33, static_cast<uint8_t>(0x40 + i));
+        if (i % 2)
+            req.optRand = ByteVec(p.n, static_cast<uint8_t>(0x21 * i));
+        req.callback = [&](uint64_t seq, const ByteVec &sig) {
+            std::lock_guard<std::mutex> lk(m);
+            cb_sigs[seq] = hexEncode(sig);
+        };
+        ids.push_back(id);
+        msgs.push_back(req.message);
+        rands.push_back(req.optRand);
+        futs.push_back(svc.submit(id, std::move(req)));
+    }
+
+    SphincsPlus scheme(p);
+    std::vector<std::string> got;
+    for (size_t i = 0; i < futs.size(); ++i) {
+        ByteVec sig = futs[i].get();
+        ByteVec ref = scheme.sign(msgs[i], t.keys.at(ids[i]).sk,
+                                  rands[i]);
+        EXPECT_EQ(hexEncode(sig), hexEncode(ref)) << "req " << i;
+        got.push_back(hexEncode(sig));
+    }
+    svc.drain();
+
+    // Every callback fired, each with its own request's bytes.
+    ASSERT_EQ(cb_sigs.size(), futs.size());
+    std::lock_guard<std::mutex> lk(m);
+    for (const auto &[seq, hex] : cb_sigs) {
+        EXPECT_NE(std::find(got.begin(), got.end(), hex), got.end())
+            << "seq " << seq;
+    }
+
+    auto st = svc.stats();
+    EXPECT_EQ(st.signsCompleted, 10u);
+    EXPECT_EQ(st.signFailures, 0u);
+    // Coalescing accounting stays consistent: every cross-signed job
+    // belongs to some group of >= 2, and no more jobs than submitted.
+    EXPECT_LE(st.signCrossSignJobs, 10u);
+    EXPECT_LE(2 * st.signLaneGroups, st.signCrossSignJobs);
+}
+
+// submitMany(span) routes a whole burst for one tenant; coalescing
+// disabled via signCoalesce=1 must report zero lane groups.
+TEST(SignService, SubmitManySpanAndCoalesceOff)
+{
+    const auto p = miniParams();
+    Tenancy t;
+    addTenants(t, p, 1);
+
+    ServiceConfig cfg;
+    cfg.workers = 4;
+    cfg.signCoalesce = 1; // within-signature only
+    SignService svc(t.store, cfg);
+
+    std::vector<ByteVec> msgs;
+    std::vector<batch::SignRequest> reqs;
+    for (unsigned i = 0; i < 8; ++i) {
+        msgs.push_back(patternMsg(24, static_cast<uint8_t>(i)));
+        reqs.push_back({msgs.back(), {}, {}});
+    }
+    // submitMany moves from the span; msgs keeps the reference copy.
+    auto futs = svc.submitMany("tenant-0", reqs);
+    ASSERT_EQ(futs.size(), msgs.size());
+
+    SphincsPlus scheme(p);
+    for (size_t i = 0; i < futs.size(); ++i) {
+        ByteVec ref = scheme.sign(msgs[i], t.keys.at("tenant-0").sk);
+        EXPECT_EQ(hexEncode(futs[i].get()), hexEncode(ref));
+    }
+    svc.drain();
+
+    auto st = svc.stats();
+    EXPECT_EQ(st.signsCompleted, 8u);
+    EXPECT_EQ(st.signLaneGroups, 0u);
+    EXPECT_EQ(st.signCrossSignJobs, 0u);
 }
 
 TEST(SignService, HotPathConstructsNoContexts)
