@@ -273,6 +273,40 @@ main(int argc, char **argv)
          "hardware threads: " +
              std::to_string(std::thread::hardware_concurrency()));
 
+    // --- Verify-after-sign guard: the release-gate overhead ---
+    // Same routing workload with the fault-tolerance guard off and
+    // on; the delta is the price of verifying every signature before
+    // release (one verify per sign, fault-free).
+    TextTable gt({"guard", "set", "workers", "sigs", "wall ms",
+                  "sigs/s", "mismatches"});
+    for (const bool guard : {false, true}) {
+        ServiceConfig cfg;
+        cfg.workers = 2;
+        cfg.shards = 2;
+        cfg.verifyAfterSign = guard;
+        SignService svc(store, cfg);
+        std::vector<std::future<ByteVec>> futs;
+        futs.reserve(msgs_per_set);
+        for (unsigned i = 0; i < msgs_per_set; ++i)
+            futs.push_back(svc.submitSign(
+                std::string("tenant-").append(
+                    std::to_string(i % tenants)),
+                rng.bytes(32)));
+        for (auto &f : futs)
+            f.get();
+        svc.drain();
+        auto stats = svc.stats();
+        gt.addRow({guard ? "on" : "off", p.name, "2",
+                   std::to_string(stats.signsCompleted),
+                   fmtF(stats.wallUs / 1000.0),
+                   fmtF(stats.sigsPerSec, 1),
+                   std::to_string(stats.guardMismatches)});
+    }
+    emit(opt, "Verify-after-sign guard overhead", gt,
+         "guard on verifies every signature before its future "
+         "resolves (ServiceConfig::verifyAfterSign); mismatches stays "
+         "0 on a fault-free run");
+
     // --- Mixed sign+verify through the unified traffic fabric ---
     // One SignService/VerifyService pair shares the warm context
     // cache, stats registry and admission controller. Closed loop:

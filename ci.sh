@@ -26,6 +26,11 @@
 #                                        # narrower ISA implies AVX-512
 #                                        # off too)
 #   CTEST_REGEX='batch|service' ./ci.sh  # run a CTest subset (-R)
+#   FAULT_MATRIX=1 ./ci.sh               # build once, then run the
+#                                        # fault/robustness/chaos
+#                                        # suites once per canned
+#                                        # HEROSIGN_FAULT_PLAN entry
+#                                        # (composes with SANITIZE)
 #   ./ci.sh --format-check               # clang-format gate only
 set -euo pipefail
 
@@ -64,6 +69,7 @@ if [[ "$HEROSIGN_AVX2" != "ON" ]]; then
     HEROSIGN_AVX512=OFF
 fi
 CTEST_REGEX=${CTEST_REGEX:-}
+FAULT_MATRIX=${FAULT_MATRIX:-}
 
 # Sanitized and portable-only builds get their own trees so neither
 # cache clobbers (or masquerades as) the plain tier-1 build.
@@ -100,4 +106,29 @@ fi
 
 cmake -B "$BUILD_DIR" -S . "${CMAKE_ARGS[@]}"
 cmake --build "$BUILD_DIR" -j "$JOBS"
+
+if [[ -n "$FAULT_MATRIX" ]]; then
+    # One canned plan per injection point, plus the all-points storm.
+    # Each entry runs the fault-aware suites in a fresh process with
+    # the plan armed from the environment; the chaos fabric keeps the
+    # env plan live while the unit suites disarm it and drive their
+    # own deterministic schedules on top.
+    FAULT_PLANS=(
+        'seed=101;hash-compress:every=701:max=8'
+        'seed=102;simd-lane:every=5'
+        'seed=103;worker-throw:every=11:max=8'
+        'seed=104;queue-stall:every=7:ms=1'
+        'seed=105;callback-throw:every=2'
+        'seed=106;simd-lane:every=9;worker-throw:every=29:max=4;queue-stall:every=13:ms=1;callback-throw:every=5;hash-compress:every=997:max=4'
+    )
+    for plan in "${FAULT_PLANS[@]}"; do
+        echo "ci.sh: fault matrix plan: $plan"
+        HEROSIGN_FAULT_PLAN="$plan" ctest --test-dir "$BUILD_DIR" \
+            --output-on-failure -j "$JOBS" \
+            -R "${CTEST_REGEX:-fault|robustness|chaos}"
+    done
+    echo "ci.sh: fault matrix passed (${#FAULT_PLANS[@]} plans)"
+    exit 0
+fi
+
 ctest --test-dir "$BUILD_DIR" "${CTEST_ARGS[@]}"

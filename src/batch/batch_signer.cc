@@ -4,6 +4,9 @@
 #include <stdexcept>
 
 #include "batch/lane_scheduler.hh"
+#include "common/errors.hh"
+#include "common/fault.hh"
+#include "hash/sha256xN.hh"
 #include "sphincs/sign_task.hh"
 
 namespace herosign::batch
@@ -58,8 +61,10 @@ BatchSigner::BatchSigner(const Params &params,
     : params_(params), sk_(requireKey(std::move(sk))),
       scheme_(params_, config.variant),
       ctx_(params_, sk_->pkSeed, sk_->skSeed, config.variant),
+      pk_{params_, sk_->pkSeed, sk_->pkRoot},
       queue_(config.shards == 0 ? 1 : config.shards),
-      laneGroup_(resolveLaneGroup(config.laneGroup))
+      laneGroup_(resolveLaneGroup(config.laneGroup)),
+      verifyAfterSign_(config.verifyAfterSign)
 {
     const unsigned n = config.workers == 0 ? 1 : config.workers;
     workers_.reserve(n);
@@ -86,6 +91,24 @@ BatchSigner::BatchSigner(const Params &params,
 
 BatchSigner::~BatchSigner()
 {
+    // Graceful teardown: everything still queued is signed (the
+    // regression-pinned historical contract — destruction never
+    // strands a future, it completes them).
+    queue_.close();
+    for (auto &w : workers_) {
+        if (w->thread.joinable())
+            w->thread.join();
+    }
+}
+
+void
+BatchSigner::close()
+{
+    closing_.store(true, std::memory_order_release);
+    // Closing the queue wakes every blocked worker; remaining jobs
+    // are still popped, and the closing_ flag makes processPass()
+    // fast-fail them with ServiceShutdown instead of signing — no
+    // future is ever stranded, just settled cheaply.
     queue_.close();
     for (auto &w : workers_) {
         if (w->thread.joinable())
@@ -96,6 +119,8 @@ BatchSigner::~BatchSigner()
 std::future<ByteVec>
 BatchSigner::submit(SignRequest req)
 {
+    if (closing_.load(std::memory_order_acquire))
+        throw ServiceShutdown("BatchSigner: submit after close()");
     if (!req.optRand.empty() && req.optRand.size() != params_.n)
         throw std::invalid_argument(
             "BatchSigner: opt_rand must be n bytes");
@@ -120,6 +145,8 @@ BatchSigner::submit(SignRequest req)
         // stay monotonic — this one is simply skipped.)
         failures_.fetch_add(1, std::memory_order_relaxed);
         completeOne();
+        if (closing_.load(std::memory_order_acquire))
+            throw ServiceShutdown("BatchSigner: submit after close()");
         throw;
     }
     return fut;
@@ -139,14 +166,14 @@ std::future<ByteVec>
 BatchSigner::submit(ByteVec msg, ByteVec opt_rand)
 {
     return submit(
-        SignRequest{std::move(msg), std::move(opt_rand), {}});
+        SignRequest{std::move(msg), std::move(opt_rand), {}, {}});
 }
 
 std::future<ByteVec>
 BatchSigner::submit(ByteVec msg, SignCallback cb, ByteVec opt_rand)
 {
     return submit(SignRequest{std::move(msg), std::move(opt_rand),
-                              std::move(cb)});
+                              std::move(cb), {}});
 }
 
 std::vector<std::future<ByteVec>>
@@ -169,32 +196,78 @@ BatchSigner::completeOne()
     drainCv_.notify_all();
 }
 
+ByteVec
+BatchSigner::guardSignature(ByteVec sig, const SignRequest &req)
+{
+    if (scheme_.verify(ctx_, req.message, sig, pk_))
+        return sig;
+    // The signature we just produced does not verify: quarantine the
+    // SIMD tier that produced it (process-wide — a faulty vector unit
+    // is not this worker's private problem) and redo the job on the
+    // forced-scalar path, which the simd-lane fault seam cannot touch
+    // by construction.
+    guardMismatches_.fetch_add(1, std::memory_order_relaxed);
+    if (sha256LanesQuarantineActiveTier() != LaneBackend::Scalar)
+        laneQuarantines_.fetch_add(1, std::memory_order_relaxed);
+    ScopedScalarLanes scalar;
+    ByteVec redo = scheme_.sign(ctx_, req.message, *sk_, req.optRand);
+    if (scheme_.verify(ctx_, req.message, redo, pk_))
+        return redo;
+    // Even the scalar path cannot produce a verifiable signature —
+    // fail the job rather than release bytes that might leak WOTS
+    // one-time key material.
+    throw SigningFault(
+        "BatchSigner: signature failed verify-after-sign twice");
+}
+
 void
-BatchSigner::signGroup(Worker &w, SignJob jobs[], unsigned count)
+BatchSigner::finishJob(Worker &w, SignJob &job, ByteVec sig)
+{
+    if (job.req.callback) {
+        // A throwing callback must not poison the finished
+        // signature: isolate it from the signing path and count it.
+        try {
+            FaultInjector::throwIfFires(FaultPoint::CallbackThrow);
+            job.req.callback(job.seq, sig);
+        } catch (...) {
+            callbackErrors_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+    job.promise.set_value(std::move(sig));
+    job.settled = true;
+    w.signedCount.fetch_add(1, std::memory_order_relaxed);
+    completeOne();
+}
+
+void
+BatchSigner::failJob(SignJob &job, std::exception_ptr err)
+{
+    if (job.settled)
+        return;
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    job.promise.set_exception(std::move(err));
+    job.settled = true;
+    completeOne();
+}
+
+void
+BatchSigner::signGroup(Worker &w, SignJob *const jobs[],
+                       unsigned count)
 {
     if (count == 1) {
         // Within-signature path: lanes fill only inside this one
         // signature's trees. This is also the honest baseline the
         // cross-signature bench mode compares against.
-        SignJob &job = jobs[0];
+        SignJob &job = *jobs[0];
         try {
             ByteVec sig = scheme_.sign(ctx_, job.req.message, *sk_,
                                        job.req.optRand);
-            if (job.req.callback) {
-                // A throwing callback must not poison the finished
-                // signature: isolate it from the signing try-block.
-                try {
-                    job.req.callback(job.seq, sig);
-                } catch (...) {
-                }
-            }
-            job.promise.set_value(std::move(sig));
-            w.signedCount.fetch_add(1, std::memory_order_relaxed);
+            if (verifyAfterSign_)
+                sig = guardSignature(std::move(sig), job.req);
+            finishJob(w, job, std::move(sig));
         } catch (...) {
-            failures_.fetch_add(1, std::memory_order_relaxed);
-            job.promise.set_exception(std::current_exception());
+            failJob(job, std::current_exception());
         }
-        completeOne();
         return;
     }
 
@@ -209,14 +282,13 @@ BatchSigner::signGroup(Worker &w, SignJob jobs[], unsigned count)
     for (unsigned i = 0; i < count; ++i) {
         try {
             tasks[nlive] = std::make_unique<SignTask>(
-                ctx_, *sk_, jobs[i].req.message, jobs[i].req.optRand);
+                ctx_, *sk_, jobs[i]->req.message,
+                jobs[i]->req.optRand);
             ptrs[nlive] = tasks[nlive].get();
             live[nlive] = i;
             ++nlive;
         } catch (...) {
-            failures_.fetch_add(1, std::memory_order_relaxed);
-            jobs[i].promise.set_exception(std::current_exception());
-            completeOne();
+            failJob(*jobs[i], std::current_exception());
         }
     }
     if (nlive == 0)
@@ -227,35 +299,57 @@ BatchSigner::signGroup(Worker &w, SignJob jobs[], unsigned count)
         ran = true;
     } catch (...) {
         // A group-wide failure fails every member.
-        for (unsigned i = 0; i < nlive; ++i) {
-            failures_.fetch_add(1, std::memory_order_relaxed);
-            jobs[live[i]].promise.set_exception(
-                std::current_exception());
-            completeOne();
-        }
+        for (unsigned i = 0; i < nlive; ++i)
+            failJob(*jobs[live[i]], std::current_exception());
     }
     if (!ran)
         return;
     laneGroups_.fetch_add(1, std::memory_order_relaxed);
     crossSignJobs_.fetch_add(nlive, std::memory_order_relaxed);
     for (unsigned i = 0; i < nlive; ++i) {
-        SignJob &job = jobs[live[i]];
+        SignJob &job = *jobs[live[i]];
         try {
             ByteVec sig = tasks[i]->takeSignature();
-            if (job.req.callback) {
-                try {
-                    job.req.callback(job.seq, sig);
-                } catch (...) {
-                }
-            }
-            job.promise.set_value(std::move(sig));
-            w.signedCount.fetch_add(1, std::memory_order_relaxed);
+            if (verifyAfterSign_)
+                sig = guardSignature(std::move(sig), job.req);
+            finishJob(w, job, std::move(sig));
         } catch (...) {
-            failures_.fetch_add(1, std::memory_order_relaxed);
-            job.promise.set_exception(std::current_exception());
+            failJob(job, std::current_exception());
         }
-        completeOne();
     }
+}
+
+void
+BatchSigner::processPass(Worker &w, SignJob jobs[], unsigned count)
+{
+    // Admission filter at dequeue time: a closing signer fast-fails
+    // everything still queued, and per-request deadlines drop work
+    // that is already too late to be useful — in both cases the
+    // promise is settled with a typed error, never stranded.
+    SignJob *live[LaneScheduler::maxGroup];
+    unsigned n = 0;
+    const bool closing = closing_.load(std::memory_order_acquire);
+    const auto now = std::chrono::steady_clock::now();
+    for (unsigned i = 0; i < count; ++i) {
+        if (closing) {
+            failJob(jobs[i],
+                    std::make_exception_ptr(ServiceShutdown(
+                        "BatchSigner: closed while the job was "
+                        "still queued")));
+            continue;
+        }
+        if (jobs[i].req.deadline && now > *jobs[i].req.deadline) {
+            expired_.fetch_add(1, std::memory_order_relaxed);
+            failJob(jobs[i],
+                    std::make_exception_ptr(DeadlineExceeded(
+                        "BatchSigner: deadline passed while the "
+                        "job was queued")));
+            continue;
+        }
+        live[n++] = &jobs[i];
+    }
+    if (n > 0)
+        signGroup(w, live, n);
 }
 
 void
@@ -271,7 +365,23 @@ BatchSigner::workerLoop(unsigned id)
         unsigned got = 1;
         while (got < laneGroup_ && queue_.tryPop(jobs[got], home))
             ++got;
-        signGroup(w, jobs, got);
+        try {
+            if (FaultInjector::fire(FaultPoint::QueueStall))
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(
+                        FaultInjector::instance().stallMs()));
+            FaultInjector::throwIfFires(FaultPoint::WorkerThrow);
+            processPass(w, jobs, got);
+        } catch (...) {
+            // Supervision: an exception that escapes a pass fails
+            // only the jobs of THIS pass that are not yet settled —
+            // then the worker keeps running (an in-place restart, so
+            // the pool never shrinks and queued work behind the
+            // fault still gets signed).
+            for (unsigned i = 0; i < got; ++i)
+                failJob(jobs[i], std::current_exception());
+            workerRestarts_.fetch_add(1, std::memory_order_relaxed);
+        }
     }
 }
 
@@ -303,6 +413,20 @@ BatchSigner::drain()
         crossSignJobs_.load(std::memory_order_relaxed);
     st.laneGroups = groups - epochLaneGroupsBase_;
     st.crossSignJobs = crossJobs - epochCrossSignBase_;
+    const uint64_t exp = expired_.load(std::memory_order_relaxed);
+    const uint64_t cbe =
+        callbackErrors_.load(std::memory_order_relaxed);
+    const uint64_t rst =
+        workerRestarts_.load(std::memory_order_relaxed);
+    const uint64_t grd =
+        guardMismatches_.load(std::memory_order_relaxed);
+    const uint64_t qrn =
+        laneQuarantines_.load(std::memory_order_relaxed);
+    st.expired = exp - epochExpiredBase_;
+    st.callbackErrors = cbe - epochCallbackErrBase_;
+    st.workerRestarts = rst - epochRestartsBase_;
+    st.guardMismatches = grd - epochGuardBase_;
+    st.laneQuarantines = qrn - epochQuarantineBase_;
     const uint64_t ok = st.jobs - st.failures;
     st.sigsPerSec = st.wallUs > 0 ? ok * 1e6 / st.wallUs : 0.0;
     st.perWorkerSigned.resize(workers_.size());
@@ -319,6 +443,11 @@ BatchSigner::drain()
     epochFailuresBase_ = failures_.load(std::memory_order_relaxed);
     epochLaneGroupsBase_ = groups;
     epochCrossSignBase_ = crossJobs;
+    epochExpiredBase_ = exp;
+    epochCallbackErrBase_ = cbe;
+    epochRestartsBase_ = rst;
+    epochGuardBase_ = grd;
+    epochQuarantineBase_ = qrn;
     epochOpen_ = false;
     return st;
 }

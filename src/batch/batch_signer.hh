@@ -55,6 +55,14 @@ struct BatchSignerConfig
     /// path. Clamped to the LaneScheduler group bound.
     unsigned laneGroup = 0;
     Sha256Variant variant = Sha256Variant::Native;
+    /// Verify every produced signature against the warm context
+    /// before it is released. On a mismatch the job is re-signed once
+    /// on the forced-scalar path and the suspect SIMD tier is
+    /// quarantined process-wide; a second mismatch fails the job with
+    /// SigningFault. A corrupt signature never escapes — for SPHINCS+
+    /// that matters doubly, since a faulty signature can leak WOTS
+    /// one-time key material.
+    bool verifyAfterSign = false;
 };
 
 /**
@@ -131,6 +139,17 @@ class BatchSigner
      */
     BatchStats drain();
 
+    /**
+     * Shut down without stranding: reject new submits, fast-fail
+     * every still-queued job with ServiceShutdown (their admission to
+     * the completion ledger is preserved — submitted == completed
+     * still converges), then join the workers. Jobs already signing
+     * finish normally. Idempotent; the destructor after close() is a
+     * no-op join. Contrast with plain destruction, which drains
+     * gracefully by signing everything queued.
+     */
+    void close();
+
     unsigned workers() const
     {
         return static_cast<unsigned>(workers_.size());
@@ -162,7 +181,11 @@ class BatchSigner
     };
 
     void workerLoop(unsigned id);
-    void signGroup(Worker &w, SignJob jobs[], unsigned count);
+    void processPass(Worker &w, SignJob jobs[], unsigned count);
+    void signGroup(Worker &w, SignJob *const jobs[], unsigned count);
+    ByteVec guardSignature(ByteVec sig, const SignRequest &req);
+    void finishJob(Worker &w, SignJob &job, ByteVec sig);
+    void failJob(SignJob &job, std::exception_ptr err);
     void completeOne();
 
     sphincs::Params params_;
@@ -171,15 +194,23 @@ class BatchSigner
     std::shared_ptr<const sphincs::SecretKey> sk_;
     sphincs::SphincsPlus scheme_;
     sphincs::Context ctx_;
+    sphincs::PublicKey pk_; ///< for the verify-after-sign guard
     ShardedMpmcQueue<SignJob> queue_;
     unsigned laneGroup_;
+    bool verifyAfterSign_;
     std::vector<std::unique_ptr<Worker>> workers_;
 
+    std::atomic<bool> closing_{false};
     std::atomic<uint64_t> submitted_{0};
     std::atomic<uint64_t> completed_{0};
     std::atomic<uint64_t> failures_{0};
     std::atomic<uint64_t> laneGroups_{0};
     std::atomic<uint64_t> crossSignJobs_{0};
+    std::atomic<uint64_t> expired_{0};
+    std::atomic<uint64_t> callbackErrors_{0};
+    std::atomic<uint64_t> workerRestarts_{0};
+    std::atomic<uint64_t> guardMismatches_{0};
+    std::atomic<uint64_t> laneQuarantines_{0};
 
     // Batch-epoch bookkeeping, guarded by drainM_.
     std::mutex drainM_;
@@ -192,6 +223,11 @@ class BatchSigner
     uint64_t epochFailuresBase_ = 0;
     uint64_t epochLaneGroupsBase_ = 0;
     uint64_t epochCrossSignBase_ = 0;
+    uint64_t epochExpiredBase_ = 0;
+    uint64_t epochCallbackErrBase_ = 0;
+    uint64_t epochRestartsBase_ = 0;
+    uint64_t epochGuardBase_ = 0;
+    uint64_t epochQuarantineBase_ = 0;
     std::vector<uint64_t> epochWorkerBase_;
 };
 

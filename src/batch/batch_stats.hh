@@ -28,6 +28,20 @@ struct BatchStats
     /// Jobs signed inside such a group (the rest took the
     /// within-signature scalar-batched path).
     uint64_t crossSignJobs = 0;
+    /// Queued jobs dropped at dequeue because their deadline had
+    /// passed (failed with DeadlineExceeded; included in failures).
+    uint64_t expired = 0;
+    /// Completion callbacks that threw (the signature still reached
+    /// its future untouched).
+    uint64_t callbackErrors = 0;
+    /// Worker-loop passes aborted by an escaped exception; the worker
+    /// failed its in-flight jobs and kept running.
+    uint64_t workerRestarts = 0;
+    /// Verify-after-sign guard mismatches (a produced signature that
+    /// failed verification and was re-signed on the scalar path).
+    uint64_t guardMismatches = 0;
+    /// SIMD tiers quarantined by this signer's guard.
+    uint64_t laneQuarantines = 0;
     /// Successful signatures per worker (failures excluded).
     std::vector<uint64_t> perWorkerSigned;
 };

@@ -14,14 +14,23 @@
 #ifndef HEROSIGN_BATCH_SIGN_REQUEST_HH
 #define HEROSIGN_BATCH_SIGN_REQUEST_HH
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <optional>
 
 #include "common/bytes.hh"
 
 namespace herosign::batch
 {
+
+/**
+ * Per-request deadline, checked against steady_clock when a worker
+ * dequeues the request (queued work is dropped with DeadlineExceeded
+ * once past it; work already signing is never aborted mid-flight).
+ */
+using Deadline = std::chrono::steady_clock::time_point;
 
 /**
  * Completion callback: invoked on the worker thread with the
@@ -43,6 +52,8 @@ struct SignRequest
     ByteVec message;
     ByteVec optRand;       ///< empty selects deterministic signing
     SignCallback callback; ///< optional, may be empty
+    /// Drop-if-late bound; nullopt = no deadline.
+    std::optional<Deadline> deadline;
 };
 
 /** One verification request (a message/signature pair). */
@@ -50,6 +61,8 @@ struct VerifyRequest
 {
     ByteVec message;
     ByteVec signature;
+    /// Drop-if-late bound; nullopt = no deadline.
+    std::optional<Deadline> deadline;
 };
 
 /**
@@ -61,6 +74,9 @@ struct SignJob
     uint64_t seq = 0; ///< submission order, 0-based
     SignRequest req;
     std::promise<ByteVec> promise;
+    /// Set once the promise has been fulfilled or failed; lets the
+    /// worker supervisor fail exactly the unsettled jobs of a pass.
+    bool settled = false;
 };
 
 } // namespace herosign::batch

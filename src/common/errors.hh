@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Typed failure conditions of the fault-tolerant signing plane. Every
+ * future the batch and service layers hand out completes with a value
+ * or with one of these (or the exception the scheme itself raised) —
+ * callers can switch on the failure kind instead of parsing what()
+ * strings.
+ */
+
+#ifndef HEROSIGN_COMMON_ERRORS_HH
+#define HEROSIGN_COMMON_ERRORS_HH
+
+#include <stdexcept>
+#include <string>
+
+namespace herosign
+{
+
+/**
+ * A produced signature failed the verify-after-sign guard twice (the
+ * SIMD attempt and the forced-scalar re-sign). The corrupt signature
+ * is never released; the job's future carries this instead.
+ */
+class SigningFault : public std::runtime_error
+{
+  public:
+    explicit SigningFault(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * A queued request's deadline passed before a worker reached it. The
+ * job is dropped without signing/verifying, its admission budget is
+ * returned, and its future carries this.
+ */
+class DeadlineExceeded : public std::runtime_error
+{
+  public:
+    explicit DeadlineExceeded(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+/**
+ * The service was close()d: new submissions are refused and work that
+ * was still queued (not yet picked up by a worker) fails with this
+ * instead of stranding its future.
+ */
+class ServiceShutdown : public std::runtime_error
+{
+  public:
+    explicit ServiceShutdown(const std::string &what)
+        : std::runtime_error(what)
+    {
+    }
+};
+
+} // namespace herosign
+
+#endif // HEROSIGN_COMMON_ERRORS_HH

@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "common/fault.hh"
 #include "hash/sha256_tables.hh"
 
 namespace herosign
@@ -17,6 +18,17 @@ using sha256tables::initState;
 
 std::atomic<bool> force_scalar{false};
 std::atomic<bool> disable_avx512{false};
+
+// Verify-after-sign quarantine state: sticky per-tier kill switches
+// plus a monotonic count, all process-wide (a faulty vector unit is
+// not a per-thread condition).
+std::atomic<bool> quarantine_avx2{false};
+std::atomic<bool> quarantine_avx512{false};
+std::atomic<uint64_t> quarantine_count{0};
+
+// The forced-scalar re-sign scope is per thread: one worker redoing
+// a suspect signature must not demote its siblings' dispatch.
+thread_local bool tl_force_scalar = false;
 
 bool
 cpuHasAvx2()
@@ -108,17 +120,25 @@ LaneDispatch
 laneDispatch()
 {
     const EnvSnapshot &env = envSnapshot();
-    const bool forced = force_scalar.load(std::memory_order_relaxed);
+    const bool forced = force_scalar.load(std::memory_order_relaxed) ||
+                        tl_force_scalar;
 
     LaneDispatch d;
-    d.avx2 = sha256LanesAvx2Supported() && !env.disableAvx2 && !forced;
+    d.avx2 = sha256LanesAvx2Supported() && !env.disableAvx2 &&
+             !forced &&
+             !quarantine_avx2.load(std::memory_order_relaxed);
     // Disabling the narrower ISA implies the wider one is off too
     // (AVX-512F hardware always has AVX2), so HEROSIGN_DISABLE_AVX2=1
     // keeps its historical meaning: fully portable lanes. This
     // mirrors ci.sh's build-gate cascade (AVX2=OFF forces AVX512=OFF).
     d.avx512 = sha256LanesAvx512Supported() && !env.disableAvx512 &&
                !env.disableAvx2 && !forced &&
-               !disable_avx512.load(std::memory_order_relaxed);
+               !disable_avx512.load(std::memory_order_relaxed) &&
+               !quarantine_avx512.load(std::memory_order_relaxed) &&
+               // An AVX2 quarantine demotes to portable outright: the
+               // shared vector register file is suspect, so the wider
+               // tier of the same unit is no safer.
+               !quarantine_avx2.load(std::memory_order_relaxed);
     d.backend = d.avx512   ? LaneBackend::Avx512
                 : d.avx2   ? LaneBackend::Avx2
                            : LaneBackend::Scalar;
@@ -150,6 +170,61 @@ void
 sha256LanesDisableAvx512(bool disable)
 {
     disable_avx512.store(disable, std::memory_order_relaxed);
+}
+
+void
+sha256LanesQuarantine(LaneBackend tier)
+{
+    switch (tier) {
+    case LaneBackend::Avx512:
+        if (!quarantine_avx512.exchange(true,
+                                        std::memory_order_relaxed))
+            quarantine_count.fetch_add(1, std::memory_order_relaxed);
+        break;
+    case LaneBackend::Avx2:
+        if (!quarantine_avx2.exchange(true, std::memory_order_relaxed))
+            quarantine_count.fetch_add(1, std::memory_order_relaxed);
+        break;
+    case LaneBackend::Scalar:
+        break; // nothing below the portable tier to demote to
+    }
+}
+
+LaneBackend
+sha256LanesQuarantineActiveTier()
+{
+    const LaneBackend active = laneDispatch().backend;
+    sha256LanesQuarantine(active);
+    return active;
+}
+
+uint64_t
+sha256LanesQuarantineCount()
+{
+    return quarantine_count.load(std::memory_order_relaxed);
+}
+
+void
+sha256LanesClearQuarantines()
+{
+    quarantine_avx2.store(false, std::memory_order_relaxed);
+    quarantine_avx512.store(false, std::memory_order_relaxed);
+}
+
+ScopedScalarLanes::ScopedScalarLanes() : prev_(tl_force_scalar)
+{
+    tl_force_scalar = true;
+}
+
+ScopedScalarLanes::~ScopedScalarLanes()
+{
+    tl_force_scalar = prev_;
+}
+
+bool
+ScopedScalarLanes::activeOnThisThread()
+{
+    return tl_force_scalar;
 }
 
 Sha256Lanes::Sha256Lanes(unsigned width, Sha256Variant variant)
@@ -204,6 +279,16 @@ Sha256Lanes::compressAll(const uint8_t *const blocks[])
     // One W-wide step does the work of W scalar compressions; keep
     // the global accounting (tests, cost-model calibration) in sync.
     Sha256::addCompressions(width_);
+
+    // Fault seam: a hash-compress rule flips one bit of one lane's
+    // chaining state, modeling a transient ALU fault inside the
+    // compression function. Disabled cost: one relaxed load.
+    if (FaultInjector::fire(FaultPoint::HashCompress)) {
+        FaultInjector &inj = FaultInjector::instance();
+        const unsigned lane = inj.laneFor(
+            inj.fired(FaultPoint::HashCompress), width_);
+        h_[lane][0] ^= 1u;
+    }
 }
 
 void

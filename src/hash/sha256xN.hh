@@ -124,6 +124,52 @@ void sha256LanesDisableAvx512(bool disable);
 bool laneEnvFlagEnabled(const char *var);
 
 /**
+ * Quarantine one SIMD tier process-wide: laneDispatch() stops
+ * selecting it for every subsequent call, on every thread. This is
+ * the verify-after-sign guard's response to a signature that failed
+ * verification — a faulty vector unit (or a fault-injection run)
+ * must not keep producing corrupt hashes. Quarantining Avx512
+ * demotes dispatch to the 8-lane path; quarantining Avx2 demotes to
+ * fully portable lanes. Quarantining Scalar is a no-op (there is
+ * nothing below it). Sticky until sha256LanesClearQuarantines().
+ */
+void sha256LanesQuarantine(LaneBackend tier);
+
+/**
+ * Quarantine whatever SIMD tier laneDispatch() currently selects and
+ * return it; returns LaneBackend::Scalar (and changes nothing) when
+ * dispatch is already portable.
+ */
+LaneBackend sha256LanesQuarantineActiveTier();
+
+/** Tiers quarantined so far (process-wide, monotonic). */
+uint64_t sha256LanesQuarantineCount();
+
+/** Lift all quarantines (tests and operator intervention only). */
+void sha256LanesClearQuarantines();
+
+/**
+ * RAII thread-local override pinning laneDispatch() to the portable
+ * backend for the current thread only — the verify-after-sign
+ * guard's forced-scalar re-sign path. Nestable; other threads keep
+ * their SIMD dispatch.
+ */
+class ScopedScalarLanes
+{
+  public:
+    ScopedScalarLanes();
+    ~ScopedScalarLanes();
+    ScopedScalarLanes(const ScopedScalarLanes &) = delete;
+    ScopedScalarLanes &operator=(const ScopedScalarLanes &) = delete;
+
+    /** True while any ScopedScalarLanes is live on this thread. */
+    static bool activeOnThisThread();
+
+  private:
+    bool prev_;
+};
+
+/**
  * Incremental lane-parallel SHA-256 hasher over a fixed number of
  * lanes (uniform lane lengths). The width is a runtime constructor
  * argument, 1..maxSha256Lanes; compression steps greedily use the

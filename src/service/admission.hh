@@ -78,6 +78,14 @@ struct ServiceConfig
     uint64_t maxPendingTotal = 0;
     /// Per-tenant quota on pending jobs, both planes (0 = unbounded).
     uint64_t maxPendingPerTenant = 0;
+    /// Verify every produced signature against the tenant's warm
+    /// context before its future is fulfilled. On a mismatch the job
+    /// is re-signed once on the forced-scalar hash path and the
+    /// suspect SIMD tier is quarantined process-wide; a second
+    /// mismatch fails the job with SigningFault. Guarantees no
+    /// corrupt signature ever escapes the service (a faulty SPHINCS+
+    /// signature can leak WOTS one-time key material).
+    bool verifyAfterSign = false;
     Sha256Variant variant = Sha256Variant::Native;
 };
 

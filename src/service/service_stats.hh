@@ -74,6 +74,25 @@ struct ServiceStats
     /// exact difference between `verifies` and the per-tenant sums.
     uint64_t unknownTenantRejects = 0;
 
+    /// Queued sign jobs dropped at dequeue because their deadline had
+    /// passed (failed with DeadlineExceeded; included in failures).
+    uint64_t signExpired = 0;
+    /// Same for the verify plane.
+    uint64_t verifyExpired = 0;
+    /// Completion callbacks that threw (the result still reached its
+    /// future untouched).
+    uint64_t callbackErrors = 0;
+    /// Sign worker-loop passes aborted by an escaped exception; the
+    /// worker failed its in-flight jobs and kept running.
+    uint64_t workerRestarts = 0;
+    /// Same for the verify plane's workers.
+    uint64_t verifyWorkerRestarts = 0;
+    /// Verify-after-sign guard mismatches (signatures re-signed on
+    /// the scalar path before release).
+    uint64_t guardMismatches = 0;
+    /// SIMD tiers quarantined by this service's guard.
+    uint64_t laneQuarantines = 0;
+
     double wallUs = 0;           ///< first submit -> last completion
     double sigsPerSec = 0;
     double verifiesPerSec = 0;
@@ -109,6 +128,13 @@ struct ServiceStats
         m.verifyFailures += other.verifyFailures;
         m.verifiesRejected += other.verifiesRejected;
         m.unknownTenantRejects += other.unknownTenantRejects;
+        m.signExpired += other.signExpired;
+        m.verifyExpired += other.verifyExpired;
+        m.callbackErrors += other.callbackErrors;
+        m.workerRestarts += other.workerRestarts;
+        m.verifyWorkerRestarts += other.verifyWorkerRestarts;
+        m.guardMismatches += other.guardMismatches;
+        m.laneQuarantines += other.laneQuarantines;
         m.wallUs = std::max(wallUs, other.wallUs);
         m.sigsPerSec = std::max(sigsPerSec, other.sigsPerSec);
         m.verifiesPerSec =

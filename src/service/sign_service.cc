@@ -3,6 +3,9 @@
 #include <algorithm>
 
 #include "batch/lane_scheduler.hh"
+#include "common/errors.hh"
+#include "common/fault.hh"
+#include "hash/sha256xN.hh"
 #include "sphincs/sign_task.hh"
 
 namespace herosign::service
@@ -61,6 +64,23 @@ SignService::SignService(KeyStore &store, const ServiceConfig &config,
 
 SignService::~SignService()
 {
+    // Graceful teardown: everything still queued is signed before the
+    // workers join — destruction never strands a future.
+    queue_.close();
+    for (auto &w : workers_) {
+        if (w->thread.joinable())
+            w->thread.join();
+    }
+}
+
+void
+SignService::close()
+{
+    closing_.store(true, std::memory_order_release);
+    // Workers still pop what remains; the closing_ flag makes
+    // processChunk() fast-fail each task with ServiceShutdown,
+    // releasing its admission slot — the shared budget drains to its
+    // idle level and no future is stranded.
     queue_.close();
     for (auto &w : workers_) {
         if (w->thread.joinable())
@@ -71,6 +91,10 @@ SignService::~SignService()
 std::future<ByteVec>
 SignService::submit(const std::string &key_id, batch::SignRequest req)
 {
+    // Checked before admission so a rejected-at-shutdown submit never
+    // claims (and then has to return) budget.
+    if (closing_.load(std::memory_order_acquire))
+        throw ServiceShutdown("SignService: submit after close()");
     auto key = store_.find(key_id);
     if (!key)
         throw std::invalid_argument("SignService: unknown key id '" +
@@ -117,6 +141,7 @@ SignService::submit(const std::string &key_id, batch::SignRequest req)
         task.msg = std::move(req.message);
         task.optRand = std::move(req.optRand);
         task.callback = std::move(req.callback);
+        task.deadline = req.deadline;
         auto fut = task.promise.get_future();
         queue_.push(std::move(task));
         return fut;
@@ -127,6 +152,8 @@ SignService::submit(const std::string &key_id, batch::SignRequest req)
         tc.signFailures.fetch_add(1, std::memory_order_relaxed);
         admission_->release(Plane::Sign, tc);
         noteCompletion();
+        if (closing_.load(std::memory_order_acquire))
+            throw ServiceShutdown("SignService: submit after close()");
         throw;
     }
 }
@@ -146,8 +173,9 @@ std::future<ByteVec>
 SignService::submitSign(const std::string &key_id, ByteVec msg,
                         ByteVec opt_rand)
 {
-    return submit(key_id, batch::SignRequest{std::move(msg),
-                                             std::move(opt_rand), {}});
+    return submit(key_id,
+                  batch::SignRequest{std::move(msg),
+                                     std::move(opt_rand), {}, {}});
 }
 
 void
@@ -161,20 +189,48 @@ SignService::noteCompletion()
     drainCv_.notify_all();
 }
 
+ByteVec
+SignService::guardSignature(ByteVec sig, const Task &task)
+{
+    const WarmContext &warm = *task.warm;
+    if (warm.scheme.verify(warm.ctx, task.msg, sig, warm.key->pk))
+        return sig;
+    // The signature we just produced does not verify: quarantine the
+    // SIMD tier that produced it process-wide and redo the job on the
+    // forced-scalar path, which the simd-lane fault seam cannot touch
+    // by construction.
+    guardMismatches_.fetch_add(1, std::memory_order_relaxed);
+    if (sha256LanesQuarantineActiveTier() != LaneBackend::Scalar)
+        laneQuarantines_.fetch_add(1, std::memory_order_relaxed);
+    ScopedScalarLanes scalar;
+    ByteVec redo = warm.scheme.sign(warm.ctx, task.msg, warm.key->sk,
+                                    task.optRand);
+    if (warm.scheme.verify(warm.ctx, task.msg, redo, warm.key->pk))
+        return redo;
+    // Even the scalar path cannot produce a verifiable signature —
+    // fail the job rather than release bytes that might leak WOTS
+    // one-time key material.
+    throw SigningFault(
+        "SignService: signature failed verify-after-sign twice");
+}
+
 void
 SignService::finishTask(Task &task, ByteVec sig)
 {
     if (task.callback) {
         // A throwing callback must not poison the finished
-        // signature.
+        // signature: isolate it and count it.
         try {
+            FaultInjector::throwIfFires(FaultPoint::CallbackThrow);
             task.callback(task.seq, sig);
         } catch (...) {
+            callbackErrors_.fetch_add(1, std::memory_order_relaxed);
         }
     }
     task.tenant->signsCompleted.fetch_add(1,
                                           std::memory_order_relaxed);
     task.promise.set_value(std::move(sig));
+    task.settled = true;
     task.warm.reset(); // release the context pin promptly
     admission_->release(Plane::Sign, *task.tenant);
     noteCompletion();
@@ -183,9 +239,12 @@ SignService::finishTask(Task &task, ByteVec sig)
 void
 SignService::failTask(Task &task, std::exception_ptr err)
 {
+    if (task.settled)
+        return;
     failures_.fetch_add(1, std::memory_order_relaxed);
     task.tenant->signFailures.fetch_add(1, std::memory_order_relaxed);
     task.promise.set_exception(std::move(err));
+    task.settled = true;
     task.warm.reset();
     admission_->release(Plane::Sign, *task.tenant);
     noteCompletion();
@@ -200,6 +259,8 @@ SignService::signSameContextGroup(Task *const tasks[], unsigned count)
             ByteVec sig = task.warm->scheme.sign(
                 task.warm->ctx, task.msg, task.warm->key->sk,
                 task.optRand);
+            if (config_.verifyAfterSign)
+                sig = guardSignature(std::move(sig), task);
             finishTask(task, std::move(sig));
         } catch (...) {
             failTask(task, std::current_exception());
@@ -241,11 +302,61 @@ SignService::signSameContextGroup(Task *const tasks[], unsigned count)
     laneGroups_.fetch_add(1, std::memory_order_relaxed);
     crossSignJobs_.fetch_add(nlive, std::memory_order_relaxed);
     for (unsigned i = 0; i < nlive; ++i) {
+        Task &task = *tasks[live[i]];
         try {
-            finishTask(*tasks[live[i]], sts[i]->takeSignature());
+            ByteVec sig = sts[i]->takeSignature();
+            if (config_.verifyAfterSign)
+                sig = guardSignature(std::move(sig), task);
+            finishTask(task, std::move(sig));
         } catch (...) {
-            failTask(*tasks[live[i]], std::current_exception());
+            failTask(task, std::current_exception());
         }
+    }
+}
+
+void
+SignService::processChunk(std::vector<Task> &chunk)
+{
+    // Admission filter at dequeue time: a closing service fast-fails
+    // everything still queued, and per-request deadlines drop work
+    // that is already too late — in both cases the promise is settled
+    // with a typed error and the admission slot is released.
+    const bool closing = closing_.load(std::memory_order_acquire);
+    const auto now = std::chrono::steady_clock::now();
+    for (Task &t : chunk) {
+        if (closing) {
+            failTask(t, std::make_exception_ptr(ServiceShutdown(
+                            "SignService: closed while the job was "
+                            "still queued")));
+        } else if (t.deadline && now > *t.deadline) {
+            expired_.fetch_add(1, std::memory_order_relaxed);
+            failTask(t, std::make_exception_ptr(DeadlineExceeded(
+                            "SignService: deadline passed while the "
+                            "job was queued")));
+        }
+    }
+
+    // Partition by warm context: only jobs sharing one context
+    // (one tenant key) may sign in lockstep. Submission order is
+    // preserved within each group.
+    std::vector<char> used(chunk.size(), 0);
+    Task *group[LaneScheduler::maxGroup];
+    for (size_t i = 0; i < chunk.size(); ++i) {
+        if (used[i] || chunk[i].settled)
+            continue;
+        unsigned n = 0;
+        group[n++] = &chunk[i];
+        used[i] = 1;
+        const WarmContext *ctx = chunk[i].warm.get();
+        for (size_t j = i + 1;
+             j < chunk.size() && n < LaneScheduler::maxGroup; ++j) {
+            if (!used[j] && !chunk[j].settled &&
+                chunk[j].warm.get() == ctx) {
+                group[n++] = &chunk[j];
+                used[j] = 1;
+            }
+        }
+        signSameContextGroup(group, n);
     }
 }
 
@@ -263,27 +374,21 @@ SignService::workerLoop(unsigned id)
         while (chunk.size() < coalesce_ && queue_.tryPop(task, home))
             chunk.push_back(std::move(task));
 
-        // Partition by warm context: only jobs sharing one context
-        // (one tenant key) may sign in lockstep. Submission order is
-        // preserved within each group.
-        std::vector<char> used(chunk.size(), 0);
-        Task *group[LaneScheduler::maxGroup];
-        for (size_t i = 0; i < chunk.size(); ++i) {
-            if (used[i])
-                continue;
-            unsigned n = 0;
-            group[n++] = &chunk[i];
-            used[i] = 1;
-            const WarmContext *ctx = chunk[i].warm.get();
-            for (size_t j = i + 1;
-                 j < chunk.size() && n < LaneScheduler::maxGroup;
-                 ++j) {
-                if (!used[j] && chunk[j].warm.get() == ctx) {
-                    group[n++] = &chunk[j];
-                    used[j] = 1;
-                }
-            }
-            signSameContextGroup(group, n);
+        try {
+            if (FaultInjector::fire(FaultPoint::QueueStall))
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(
+                        FaultInjector::instance().stallMs()));
+            FaultInjector::throwIfFires(FaultPoint::WorkerThrow);
+            processChunk(chunk);
+        } catch (...) {
+            // Supervision: an exception escaping a pass fails only
+            // this pass's unsettled tasks (releasing their admission
+            // slots) — then the worker keeps running, an in-place
+            // restart that never shrinks the pool.
+            for (Task &t : chunk)
+                failTask(t, std::current_exception());
+            workerRestarts_.fetch_add(1, std::memory_order_relaxed);
         }
     }
 }
@@ -313,6 +418,15 @@ SignService::stats() const
     st.signLaneGroups = laneGroups_.load(std::memory_order_relaxed);
     st.signCrossSignJobs =
         crossSignJobs_.load(std::memory_order_relaxed);
+    st.signExpired = expired_.load(std::memory_order_relaxed);
+    st.callbackErrors =
+        callbackErrors_.load(std::memory_order_relaxed);
+    st.workerRestarts =
+        workerRestarts_.load(std::memory_order_relaxed);
+    st.guardMismatches =
+        guardMismatches_.load(std::memory_order_relaxed);
+    st.laneQuarantines =
+        laneQuarantines_.load(std::memory_order_relaxed);
     st.inFlight = st.signsSubmitted - st.signsCompleted;
     st.queueDepth = queue_.sizeApprox();
     {

@@ -97,6 +97,17 @@ class SignService
     /** Block until everything submitted so far has completed. */
     void drain();
 
+    /**
+     * Shut down without stranding: reject new submits with
+     * ServiceShutdown, fast-fail every still-queued task (their
+     * admission slots are released, so the shared budget returns to
+     * its idle level), and join the workers. Tasks already signing
+     * finish normally. Idempotent; the destructor after close() is a
+     * no-op join. Plain destruction instead drains gracefully by
+     * signing everything queued.
+     */
+    void close();
+
     /** Snapshot the unified serving-layer statistics. */
     ServiceStats stats() const;
 
@@ -143,7 +154,11 @@ class SignService
         ByteVec msg;
         ByteVec optRand;
         batch::SignCallback callback;
+        std::optional<batch::Deadline> deadline;
         std::promise<ByteVec> promise;
+        /// Set once the promise is fulfilled or failed; lets the
+        /// worker supervisor fail exactly the unsettled tasks.
+        bool settled = false;
     };
 
     struct Worker
@@ -152,10 +167,12 @@ class SignService
     };
 
     void workerLoop(unsigned id);
+    void processChunk(std::vector<Task> &chunk);
     void finishTask(Task &task, ByteVec sig);
     void failTask(Task &task, std::exception_ptr err);
     void noteCompletion();
     void signSameContextGroup(Task *const tasks[], unsigned count);
+    ByteVec guardSignature(ByteVec sig, const Task &task);
 
     KeyStore &store_;
     ServiceConfig config_;
@@ -166,12 +183,18 @@ class SignService
     unsigned coalesce_;
     std::vector<std::unique_ptr<Worker>> workers_;
 
+    std::atomic<bool> closing_{false};
     std::atomic<uint64_t> submitted_{0};
     std::atomic<uint64_t> completed_{0};
     std::atomic<uint64_t> failures_{0};
     std::atomic<uint64_t> rejected_{0};
     std::atomic<uint64_t> laneGroups_{0};
     std::atomic<uint64_t> crossSignJobs_{0};
+    std::atomic<uint64_t> expired_{0};
+    std::atomic<uint64_t> callbackErrors_{0};
+    std::atomic<uint64_t> workerRestarts_{0};
+    std::atomic<uint64_t> guardMismatches_{0};
+    std::atomic<uint64_t> laneQuarantines_{0};
 
     // Epoch bookkeeping for wall-clock rates, guarded by drainM_.
     mutable std::mutex drainM_;

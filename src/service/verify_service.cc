@@ -3,6 +3,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "common/errors.hh"
+#include "common/fault.hh"
 #include "sphincs/thashx.hh"
 
 namespace herosign::service
@@ -56,6 +58,22 @@ VerifyService::VerifyService(
 
 VerifyService::~VerifyService()
 {
+    // Graceful teardown: everything still queued is verified before
+    // the workers join — destruction never strands a future.
+    queue_.close();
+    for (auto &w : workers_) {
+        if (w.joinable())
+            w.join();
+    }
+}
+
+void
+VerifyService::close()
+{
+    closing_.store(true, std::memory_order_release);
+    // Workers still pop what remains; the closing_ flag makes
+    // processChunk() fast-fail each request with ServiceShutdown,
+    // releasing its admission slot — no future is stranded.
     queue_.close();
     for (auto &w : workers_) {
         if (w.joinable())
@@ -182,6 +200,10 @@ std::future<bool>
 VerifyService::submit(const std::string &key_id,
                       batch::VerifyRequest req)
 {
+    // Checked before admission so a rejected-at-shutdown submit never
+    // claims (and then has to return) budget.
+    if (closing_.load(std::memory_order_acquire))
+        throw ServiceShutdown("VerifyService: submit after close()");
     ByteVec msg = std::move(req.message);
     ByteVec sig = std::move(req.signature);
     auto key = store_.find(key_id);
@@ -221,6 +243,7 @@ VerifyService::submit(const std::string &key_id,
         task.tenant = &tc;
         task.msg = std::move(msg);
         task.sig = std::move(sig);
+        task.deadline = req.deadline;
         auto fut = task.promise.get_future();
         queue_.push(std::move(task));
         return fut;
@@ -229,6 +252,9 @@ VerifyService::submit(const std::string &key_id,
         tc.verifyFailures.fetch_add(1, std::memory_order_relaxed);
         admission_->release(Plane::Verify, tc);
         noteCompletion(1);
+        if (closing_.load(std::memory_order_acquire))
+            throw ServiceShutdown(
+                "VerifyService: submit after close()");
         throw;
     }
 }
@@ -248,8 +274,8 @@ std::future<bool>
 VerifyService::submitVerify(const std::string &key_id, ByteVec msg,
                             ByteVec sig)
 {
-    return submit(key_id,
-                  batch::VerifyRequest{std::move(msg), std::move(sig)});
+    return submit(key_id, batch::VerifyRequest{std::move(msg),
+                                               std::move(sig), {}});
 }
 
 void
@@ -268,20 +294,71 @@ VerifyService::workerLoop(unsigned id)
         Task extra;
         while (chunk.size() < coalesce_ && queue_.tryPop(extra, home))
             chunk.push_back(std::move(extra));
-        processChunk(chunk);
+        try {
+            if (FaultInjector::fire(FaultPoint::QueueStall))
+                std::this_thread::sleep_for(
+                    std::chrono::milliseconds(
+                        FaultInjector::instance().stallMs()));
+            FaultInjector::throwIfFires(FaultPoint::WorkerThrow);
+            processChunk(chunk);
+        } catch (...) {
+            // Supervision: an exception escaping a pass fails only
+            // this pass's unsettled tasks (releasing their admission
+            // slots) — then the worker keeps running, an in-place
+            // restart that never shrinks the pool.
+            for (Task &t : chunk)
+                failTask(t, std::current_exception());
+            workerRestarts_.fetch_add(1, std::memory_order_relaxed);
+        }
     }
+}
+
+void
+VerifyService::failTask(Task &task, std::exception_ptr err)
+{
+    if (task.settled)
+        return;
+    failures_.fetch_add(1, std::memory_order_relaxed);
+    task.tenant->verifyFailures.fetch_add(1,
+                                          std::memory_order_relaxed);
+    task.promise.set_exception(std::move(err));
+    task.settled = true;
+    task.warm.reset();
+    admission_->release(Plane::Verify, *task.tenant);
+    noteCompletion(1);
 }
 
 void
 VerifyService::processChunk(std::vector<Task> &chunk)
 {
+    // Admission filter at dequeue time: a closing service fast-fails
+    // everything still queued, and per-request deadlines drop work
+    // that is already too late — the promise is settled with a typed
+    // error and the admission slot returns to the shared budget.
+    const bool closing = closing_.load(std::memory_order_acquire);
+    const auto now = std::chrono::steady_clock::now();
+    for (Task &t : chunk) {
+        if (closing) {
+            failTask(t, std::make_exception_ptr(ServiceShutdown(
+                            "VerifyService: closed while the request "
+                            "was still queued")));
+        } else if (t.deadline && now > *t.deadline) {
+            expired_.fetch_add(1, std::memory_order_relaxed);
+            failTask(t, std::make_exception_ptr(DeadlineExceeded(
+                            "VerifyService: deadline passed while "
+                            "the request was queued")));
+        }
+    }
+
     // Group by warm context rather than tenant id: a mid-flight key
     // rotation can put two different contexts for one id in the same
     // chunk, and each request must verify under the context it was
     // admitted with.
     std::map<const WarmContext *, std::vector<size_t>> groups;
-    for (size_t i = 0; i < chunk.size(); ++i)
-        groups[chunk[i].warm.get()].push_back(i);
+    for (size_t i = 0; i < chunk.size(); ++i) {
+        if (!chunk[i].settled)
+            groups[chunk[i].warm.get()].push_back(i);
+    }
 
     for (auto &[warm, idxs] : groups) {
         TenantCounters &tc = *chunk[idxs[0]].tenant;
@@ -293,16 +370,20 @@ VerifyService::processChunk(std::vector<Task> &chunk)
         }
         try {
             auto flags = runGroup(*warm, tc, msgs, sigs);
-            for (size_t j = 0; j < idxs.size(); ++j)
+            for (size_t j = 0; j < idxs.size(); ++j) {
                 chunk[idxs[j]].promise.set_value(flags[j] != 0);
+                chunk[idxs[j]].settled = true;
+            }
         } catch (...) {
             failures_.fetch_add(idxs.size(),
                                 std::memory_order_relaxed);
             tc.verifyFailures.fetch_add(idxs.size(),
                                         std::memory_order_relaxed);
-            for (size_t j = 0; j < idxs.size(); ++j)
+            for (size_t j = 0; j < idxs.size(); ++j) {
                 chunk[idxs[j]].promise.set_exception(
                     std::current_exception());
+                chunk[idxs[j]].settled = true;
+            }
         }
         for (size_t j = 0; j < idxs.size(); ++j)
             chunk[idxs[j]].warm.reset(); // release context pins
@@ -336,6 +417,9 @@ VerifyService::stats() const
     st.verifyRejects = rejects_.load(std::memory_order_relaxed);
     st.unknownTenantRejects =
         unknownRejects_.load(std::memory_order_relaxed);
+    st.verifyExpired = expired_.load(std::memory_order_relaxed);
+    st.verifyWorkerRestarts =
+        workerRestarts_.load(std::memory_order_relaxed);
     st.verifyQueueDepth = queue_.sizeApprox();
     {
         std::lock_guard<std::mutex> lk(epochM_);

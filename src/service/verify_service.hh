@@ -140,6 +140,16 @@ class VerifyService
     /** Block until everything submitted so far has a verdict. */
     void drain();
 
+    /**
+     * Shut down without stranding: reject new submits with
+     * ServiceShutdown, fast-fail every still-queued request (their
+     * admission slots are released), and join the workers. Requests
+     * already verifying finish normally. Idempotent. Plain
+     * destruction instead drains gracefully by verifying everything
+     * queued.
+     */
+    void close();
+
     /** Snapshot (verify plane, cache, per-tenant). */
     ServiceStats stats() const;
 
@@ -184,11 +194,16 @@ class VerifyService
         TenantCounters *tenant = nullptr;
         ByteVec msg;
         ByteVec sig;
+        std::optional<batch::Deadline> deadline;
         std::promise<bool> promise;
+        /// Set once the promise is fulfilled or failed; lets the
+        /// worker supervisor fail exactly the unsettled tasks.
+        bool settled = false;
     };
 
     void workerLoop(unsigned id);
     void processChunk(std::vector<Task> &chunk);
+    void failTask(Task &task, std::exception_ptr err);
 
     /**
      * Run one same-context group through the lane-parallel verifier
@@ -212,6 +227,7 @@ class VerifyService
     unsigned coalesce_;
     std::vector<std::thread> workers_;
 
+    std::atomic<bool> closing_{false};
     std::atomic<uint64_t> submitted_{0}; ///< accepted, both paths
     std::atomic<uint64_t> completed_{0}; ///< verdict or exception out
     std::atomic<uint64_t> verifies_{0};  ///< attempts with a verdict
@@ -219,6 +235,8 @@ class VerifyService
     std::atomic<uint64_t> rejects_{0};   ///< false verdicts
     std::atomic<uint64_t> rejected_{0};  ///< admission refusals
     std::atomic<uint64_t> unknownRejects_{0};
+    std::atomic<uint64_t> expired_{0};   ///< deadline drops at dequeue
+    std::atomic<uint64_t> workerRestarts_{0};
 
     // Epoch bookkeeping for wall-clock rates, guarded by epochM_.
     mutable std::mutex epochM_;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "common/fault.hh"
+
 namespace herosign::sphincs
 {
 
@@ -65,6 +67,16 @@ thashXOneBlock(uint8_t *const out[], const Context &ctx,
     while (native && d.avx2 && count - l >= 8) {
         sha256Final8SeededAvx2(mid.h, bptrs + l, dptrs + l);
         l += 8;
+    }
+    // Fault seam: a simd-lane rule corrupts one digest produced by
+    // the SIMD kernels above — never a scalar-tail lane, so a
+    // forced-scalar (or quarantined) path is immune by construction
+    // and the verify-after-sign guard's re-sign converges.
+    if (l > 0 && FaultInjector::fire(FaultPoint::SimdLane)) {
+        FaultInjector &inj = FaultInjector::instance();
+        const unsigned victim =
+            inj.laneFor(inj.fired(FaultPoint::SimdLane), l);
+        digests[victim][0] ^= 1u;
     }
     for (; l < count; ++l) {
         std::array<uint32_t, 8> h = mid.h;

@@ -178,7 +178,7 @@ TEST(SignService, SubmitManySpanAndCoalesceOff)
     std::vector<batch::SignRequest> reqs;
     for (unsigned i = 0; i < 8; ++i) {
         msgs.push_back(patternMsg(24, static_cast<uint8_t>(i)));
-        reqs.push_back({msgs.back(), {}, {}});
+        reqs.push_back({msgs.back(), {}, {}, {}});
     }
     // submitMany moves from the span; msgs keeps the reference copy.
     auto futs = svc.submitMany("tenant-0", reqs);
