@@ -21,9 +21,28 @@
 
 #include "common/table.hh"
 #include "core/engine.hh"
+#include "telemetry/histogram.hh"
 
 namespace herosign::bench
 {
+
+/**
+ * q-quantile (0..1) of @p lat_us, in milliseconds — computed through
+ * the telemetry LatencyHistogram so bench tables and the live
+ * exporters share one percentile definition (exact-bucket upper
+ * bound, never under-reporting, ~3% bucket resolution).
+ */
+inline double
+percentileMs(const std::vector<double> &lat_us, double q)
+{
+    if (lat_us.empty())
+        return 0.0;
+    telemetry::LatencyHistogram h(1);
+    for (double us : lat_us)
+        h.record(us <= 0 ? 0
+                         : static_cast<uint64_t>(us * 1000.0 + 0.5));
+    return static_cast<double>(h.snapshot().percentile(q)) / 1e6;
+}
 
 /** Parsed command-line options shared by all bench binaries. */
 struct Options

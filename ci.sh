@@ -31,6 +31,11 @@
 #                                        # suites once per canned
 #                                        # HEROSIGN_FAULT_PLAN entry
 #                                        # (composes with SANITIZE)
+#   METRICS_SOAK=1 ./ci.sh               # build, then run a duration-
+#                                        # bounded mixed workload with
+#                                        # a live MetricsReporter and
+#                                        # validate the JSONL snapshot
+#                                        # stream (SOAK_SECONDS=N)
 #   ./ci.sh --format-check               # clang-format gate only
 set -euo pipefail
 
@@ -70,6 +75,7 @@ if [[ "$HEROSIGN_AVX2" != "ON" ]]; then
 fi
 CTEST_REGEX=${CTEST_REGEX:-}
 FAULT_MATRIX=${FAULT_MATRIX:-}
+METRICS_SOAK=${METRICS_SOAK:-}
 
 # Sanitized and portable-only builds get their own trees so neither
 # cache clobbers (or masquerades as) the plain tier-1 build.
@@ -128,6 +134,38 @@ if [[ -n "$FAULT_MATRIX" ]]; then
             -R "${CTEST_REGEX:-fault|robustness|chaos}"
     done
     echo "ci.sh: fault matrix passed (${#FAULT_PLANS[@]} plans)"
+    exit 0
+fi
+
+if [[ -n "$METRICS_SOAK" ]]; then
+    # Duration-bounded mixed workload with the telemetry plane armed:
+    # the metrics_soak example drives a shared-registry fabric while
+    # a MetricsReporter appends one JSON snapshot per period, then
+    # self-validates the Prometheus exposition. The python step
+    # re-parses the JSONL stream independently.
+    SOAK_SECONDS=${SOAK_SECONDS:-5}
+    SOAK_OUT="$BUILD_DIR/metrics_soak.jsonl"
+    rm -f "$SOAK_OUT"
+    "$BUILD_DIR/examples/metrics_soak" \
+        --seconds "$SOAK_SECONDS" --out "$SOAK_OUT" --period-ms 500
+    python3 - "$SOAK_OUT" <<'EOF'
+import json, sys
+path = sys.argv[1]
+with open(path, encoding="utf-8") as f:
+    lines = [l for l in f if l.strip()]
+assert len(lines) >= 2, f"expected >= 2 JSONL lines, got {len(lines)}"
+prev_signs = -1
+for i, line in enumerate(lines, 1):
+    doc = json.loads(line)
+    for section in ("counters", "gauges", "rates", "cache", "tenants"):
+        assert section in doc, f"line {i}: missing {section!r}"
+    signs = doc["counters"]["signs_completed"]
+    assert signs >= prev_signs, f"line {i}: counter went backwards"
+    prev_signs = signs
+assert prev_signs > 0, "no signs completed during the soak"
+print(f"ci.sh: metrics soak OK ({len(lines)} snapshot lines, "
+      f"{prev_signs} signs)")
+EOF
     exit 0
 fi
 

@@ -9,10 +9,13 @@ the committed per-PR trajectory under bench/snapshots/ — and exits
 non-zero when any matched row regressed by more than the threshold
 (default 10%).
 
-Only "higher is better" columns are compared: headers matching KOPS,
-sigs/sec, rate or speedup. Rows are matched within same-titled tables
-by their first (label) column; rows or columns present in only one
-snapshot are reported as informational and never fail the run.
+Two kinds of columns are gated: "higher is better" headers matching
+KOPS, sigs/sec, rate or speedup (a drop regresses), and "lower is
+better" tail-latency headers matching ``p99 ms`` (a rise regresses —
+p50/p95 are reported but deliberately not gated; the tail is the SLO).
+Rows are matched within same-titled tables by their first (label)
+column; rows or columns present in only one snapshot are reported as
+informational and never fail the run.
 
 Usage:
   bench_trend.py --baseline OLD.json --current NEW.json [--threshold F]
@@ -40,6 +43,11 @@ from pathlib import Path
 # when machines differ, and the snapshots track one host.
 THROUGHPUT_RE = re.compile(r"KOPS|sigs/s|sig/s|/sec|speedup|rate|ops",
                            re.IGNORECASE)
+
+# Tail-latency headers (lower is better). Only the p99 column is
+# gated: medians wobble with scheduling noise, but a tail regression
+# is exactly what the stage-timing telemetry exists to catch.
+LATENCY_RE = re.compile(r"p99\s*ms", re.IGNORECASE)
 
 
 def parse_number(cell):
@@ -85,11 +93,15 @@ def compare(baseline, current, threshold):
             continue
         headers = [h for h in cur_table["headers"]
                    if THROUGHPUT_RE.search(h)]
+        lat_headers = [h for h in cur_table["headers"]
+                       if LATENCY_RE.search(h)
+                       and not THROUGHPUT_RE.search(h)]
         # Rows/columns that vanished from the current snapshot can
         # hide a regression (e.g. the fastest backend's row dropping
         # off on a less capable host) — surface them loudly.
         for h in base_table["headers"]:
-            if THROUGHPUT_RE.search(h) and h not in cur_table["headers"]:
+            if (THROUGHPUT_RE.search(h) or LATENCY_RE.search(h)) \
+                    and h not in cur_table["headers"]:
                 notes.append(f"column dropped from current: "
                              f"{title!r} / {h!r}")
         for label in base_table["rows"]:
@@ -121,6 +133,23 @@ def compare(baseline, current, threshold):
                         f"{title!r} / {label!r} / {h!r}: "
                         f"{base_v:g} -> {cur_v:g} "
                         f"({(1.0 - ratio) * 100.0:.1f}% slower)")
+            for h in lat_headers:
+                cur_v = parse_number(cur_row.get(h))
+                base_v = parse_number(base_row.get(h))
+                if cur_v is None or base_v is None or base_v <= 0:
+                    if base_v is not None and cur_v is None:
+                        notes.append(
+                            f"cell no longer numeric: {title!r} / "
+                            f"{label!r} / {h!r} ({base_row.get(h)!r} "
+                            f"-> {cur_row.get(h)!r})")
+                    continue
+                ratio = cur_v / base_v
+                if ratio > 1.0 + threshold:
+                    regressions.append(
+                        f"{title!r} / {label!r} / {h!r}: "
+                        f"{base_v:g} -> {cur_v:g} ms "
+                        f"({(ratio - 1.0) * 100.0:.1f}% higher tail "
+                        f"latency)")
     for title in baseline:
         if title not in current:
             notes.append(f"table dropped from current: {title!r}")
@@ -238,6 +267,66 @@ def self_test():
     cur.append({"title": "new table", "headers": ["a"], "rows": []})
     regs, notes = compare(load_obj(base), load_obj(cur), 0.10)
     check("new rows/tables are notes", regs == [] and len(notes) == 2)
+
+    # --- Latency-column gating (lower is better, p99 only) ---
+    lat_base = [{
+        "title": "Mixed traffic latency",
+        "note": "",
+        "headers": ["mode", "ops/s", "p50 ms", "p95 ms", "p99 ms"],
+        "rows": [
+            {"mode": "closed", "ops/s": "100.0", "p50 ms": "1.00",
+             "p95 ms": "2.00", "p99 ms": "4.00"},
+        ],
+    }]
+
+    # A 25% p99 rise over a 10% threshold is flagged.
+    cur = copy.deepcopy(lat_base)
+    cur[0]["rows"][0]["p99 ms"] = "5.00"
+    regs, _ = compare(load_obj(lat_base), load_obj(cur), 0.10)
+    check("p99 rise flagged",
+          len(regs) == 1 and "tail latency" in regs[0])
+
+    # A 5% rise under the threshold passes.
+    cur = copy.deepcopy(lat_base)
+    cur[0]["rows"][0]["p99 ms"] = "4.20"
+    regs, _ = compare(load_obj(lat_base), load_obj(cur), 0.10)
+    check("p99 rise under threshold passes", regs == [])
+
+    # Latency improvements never flag.
+    cur = copy.deepcopy(lat_base)
+    cur[0]["rows"][0]["p99 ms"] = "1.00"
+    regs, _ = compare(load_obj(lat_base), load_obj(cur), 0.10)
+    check("p99 improvement passes", regs == [])
+
+    # p50/p95 wobble is deliberately not gated.
+    cur = copy.deepcopy(lat_base)
+    cur[0]["rows"][0]["p50 ms"] = "9.00"
+    cur[0]["rows"][0]["p95 ms"] = "9.00"
+    regs, _ = compare(load_obj(lat_base), load_obj(cur), 0.10)
+    check("p50/p95 not gated", regs == [])
+
+    # Simultaneous throughput drop and p99 rise yields two findings.
+    cur = copy.deepcopy(lat_base)
+    cur[0]["rows"][0]["ops/s"] = "50.0"
+    cur[0]["rows"][0]["p99 ms"] = "8.00"
+    regs, _ = compare(load_obj(lat_base), load_obj(cur), 0.10)
+    check("both gates fire independently", len(regs) == 2)
+
+    # A p99 cell degrading to non-numeric surfaces a note.
+    cur = copy.deepcopy(lat_base)
+    cur[0]["rows"][0]["p99 ms"] = "n/a"
+    regs, notes = compare(load_obj(lat_base), load_obj(cur), 0.10)
+    check("p99 numeric-to-n/a surfaces a note",
+          regs == [] and any("no longer numeric" in n for n in notes))
+
+    # A dropped p99 column surfaces a note.
+    cur = copy.deepcopy(lat_base)
+    cur[0]["headers"] = ["mode", "ops/s", "p50 ms", "p95 ms"]
+    for row in cur[0]["rows"]:
+        row.pop("p99 ms", None)
+    regs, notes = compare(load_obj(lat_base), load_obj(cur), 0.10)
+    check("dropped p99 column surfaces a note",
+          regs == [] and any("column dropped" in n for n in notes))
 
     # "1.41x"-style speedup cells parse.
     check("speedup cell parses", parse_number("1.41x") == 1.41)

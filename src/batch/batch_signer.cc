@@ -64,7 +64,8 @@ BatchSigner::BatchSigner(const Params &params,
       pk_{params_, sk_->pkSeed, sk_->pkRoot},
       queue_(config.shards == 0 ? 1 : config.shards),
       laneGroup_(resolveLaneGroup(config.laneGroup)),
-      verifyAfterSign_(config.verifyAfterSign)
+      verifyAfterSign_(config.verifyAfterSign),
+      tel_(config.telemetry)
 {
     const unsigned n = config.workers == 0 ? 1 : config.workers;
     workers_.reserve(n);
@@ -138,6 +139,7 @@ BatchSigner::submit(SignRequest req)
         job.seq = submitted_.fetch_add(1, std::memory_order_relaxed);
     }
     try {
+        tel_.stamp(job.trace, telemetry::Stage::Admit);
         queue_.push(std::move(job));
     } catch (...) {
         // The seq was claimed but never enqueued; account it as a
@@ -196,9 +198,28 @@ BatchSigner::completeOne()
     drainCv_.notify_all();
 }
 
-ByteVec
-BatchSigner::guardSignature(ByteVec sig, const SignRequest &req)
+void
+BatchSigner::completeTrace(SignJob &job, bool ok)
 {
+    if (!tel_.enabled())
+        return;
+    tel_.stamp(job.trace, telemetry::Stage::Done);
+    telemetry::RequestOutcome out;
+    out.plane = telemetry::Plane::Sign;
+    out.seq = job.seq;
+    out.flags = job.traceFlags;
+    if (!ok)
+        out.flags |= telemetry::kSpanFailed;
+    if (FaultInjector::armed())
+        out.flags |= telemetry::kSpanFaultArmed;
+    out.recordHistograms = ok;
+    tel_.complete(job.trace, out);
+}
+
+ByteVec
+BatchSigner::guardSignature(ByteVec sig, SignJob &job)
+{
+    const SignRequest &req = job.req;
     if (scheme_.verify(ctx_, req.message, sig, pk_))
         return sig;
     // The signature we just produced does not verify: quarantine the
@@ -206,9 +227,12 @@ BatchSigner::guardSignature(ByteVec sig, const SignRequest &req)
     // is not this worker's private problem) and redo the job on the
     // forced-scalar path, which the simd-lane fault seam cannot touch
     // by construction.
+    job.traceFlags |= telemetry::kSpanGuardMismatch;
     guardMismatches_.fetch_add(1, std::memory_order_relaxed);
-    if (sha256LanesQuarantineActiveTier() != LaneBackend::Scalar)
+    if (sha256LanesQuarantineActiveTier() != LaneBackend::Scalar) {
+        job.traceFlags |= telemetry::kSpanLaneQuarantine;
         laneQuarantines_.fetch_add(1, std::memory_order_relaxed);
+    }
     ScopedScalarLanes scalar;
     ByteVec redo = scheme_.sign(ctx_, req.message, *sk_, req.optRand);
     if (scheme_.verify(ctx_, req.message, redo, pk_))
@@ -235,6 +259,7 @@ BatchSigner::finishJob(Worker &w, SignJob &job, ByteVec sig)
     }
     job.promise.set_value(std::move(sig));
     job.settled = true;
+    completeTrace(job, true);
     w.signedCount.fetch_add(1, std::memory_order_relaxed);
     completeOne();
 }
@@ -247,6 +272,7 @@ BatchSigner::failJob(SignJob &job, std::exception_ptr err)
     failures_.fetch_add(1, std::memory_order_relaxed);
     job.promise.set_exception(std::move(err));
     job.settled = true;
+    completeTrace(job, false);
     completeOne();
 }
 
@@ -254,16 +280,23 @@ void
 BatchSigner::signGroup(Worker &w, SignJob *const jobs[],
                        unsigned count)
 {
+    for (unsigned i = 0; i < count; ++i)
+        tel_.stamp(jobs[i]->trace, telemetry::Stage::GroupFormed);
+    tel_.recordGroup(telemetry::Plane::Sign, count, laneGroup_);
+
     if (count == 1) {
         // Within-signature path: lanes fill only inside this one
         // signature's trees. This is also the honest baseline the
         // cross-signature bench mode compares against.
         SignJob &job = *jobs[0];
         try {
+            tel_.stamp(job.trace, telemetry::Stage::CryptoStart);
             ByteVec sig = scheme_.sign(ctx_, job.req.message, *sk_,
                                        job.req.optRand);
+            tel_.stamp(job.trace, telemetry::Stage::CryptoEnd);
             if (verifyAfterSign_)
-                sig = guardSignature(std::move(sig), job.req);
+                sig = guardSignature(std::move(sig), job);
+            tel_.stamp(job.trace, telemetry::Stage::GuardEnd);
             finishJob(w, job, std::move(sig));
         } catch (...) {
             failJob(job, std::current_exception());
@@ -293,6 +326,9 @@ BatchSigner::signGroup(Worker &w, SignJob *const jobs[],
     }
     if (nlive == 0)
         return;
+    for (unsigned i = 0; i < nlive; ++i)
+        tel_.stamp(jobs[live[i]]->trace,
+                   telemetry::Stage::CryptoStart);
     bool ran = false;
     try {
         LaneScheduler::run(ptrs, nlive);
@@ -304,6 +340,8 @@ BatchSigner::signGroup(Worker &w, SignJob *const jobs[],
     }
     if (!ran)
         return;
+    for (unsigned i = 0; i < nlive; ++i)
+        tel_.stamp(jobs[live[i]]->trace, telemetry::Stage::CryptoEnd);
     laneGroups_.fetch_add(1, std::memory_order_relaxed);
     crossSignJobs_.fetch_add(nlive, std::memory_order_relaxed);
     for (unsigned i = 0; i < nlive; ++i) {
@@ -311,7 +349,8 @@ BatchSigner::signGroup(Worker &w, SignJob *const jobs[],
         try {
             ByteVec sig = tasks[i]->takeSignature();
             if (verifyAfterSign_)
-                sig = guardSignature(std::move(sig), job.req);
+                sig = guardSignature(std::move(sig), job);
+            tel_.stamp(job.trace, telemetry::Stage::GuardEnd);
             finishJob(w, job, std::move(sig));
         } catch (...) {
             failJob(job, std::current_exception());
@@ -340,6 +379,7 @@ BatchSigner::processPass(Worker &w, SignJob jobs[], unsigned count)
         }
         if (jobs[i].req.deadline && now > *jobs[i].req.deadline) {
             expired_.fetch_add(1, std::memory_order_relaxed);
+            jobs[i].traceFlags |= telemetry::kSpanExpired;
             failJob(jobs[i],
                     std::make_exception_ptr(DeadlineExceeded(
                         "BatchSigner: deadline passed while the "
@@ -362,9 +402,12 @@ BatchSigner::workerLoop(unsigned id)
         // Coalesce whatever is already queued — never wait for more:
         // an idle queue signs the single job immediately, a
         // backlogged one fills the lane group.
+        tel_.stamp(jobs[0].trace, telemetry::Stage::Dequeue);
         unsigned got = 1;
-        while (got < laneGroup_ && queue_.tryPop(jobs[got], home))
+        while (got < laneGroup_ && queue_.tryPop(jobs[got], home)) {
+            tel_.stamp(jobs[got].trace, telemetry::Stage::Dequeue);
             ++got;
+        }
         try {
             if (FaultInjector::fire(FaultPoint::QueueStall))
                 std::this_thread::sleep_for(

@@ -39,6 +39,7 @@
 #include "batch/sign_request.hh"
 #include "hash/sha256.hh"
 #include "sphincs/sphincs.hh"
+#include "telemetry/telemetry.hh"
 
 namespace herosign::batch
 {
@@ -63,6 +64,9 @@ struct BatchSignerConfig
     /// that matters doubly, since a faulty signature can leak WOTS
     /// one-time key material.
     bool verifyAfterSign = false;
+    /// Telemetry-plane knobs for this signer's private Telemetry
+    /// (stage histograms, group-shape histograms, trace sampling).
+    telemetry::TelemetryConfig telemetry;
 };
 
 /**
@@ -160,6 +164,11 @@ class BatchSigner
     /** Effective cross-signature coalescing group (1 = disabled). */
     unsigned laneGroup() const { return laneGroup_; }
 
+    /** This signer's telemetry plane (stage/group histograms, trace
+     * ring). */
+    telemetry::Telemetry &telemetry() { return tel_; }
+    const telemetry::Telemetry &telemetry() const { return tel_; }
+
     const sphincs::Params &params() const { return params_; }
 
     /** Jobs submitted and not yet completed (approximate). */
@@ -183,9 +192,10 @@ class BatchSigner
     void workerLoop(unsigned id);
     void processPass(Worker &w, SignJob jobs[], unsigned count);
     void signGroup(Worker &w, SignJob *const jobs[], unsigned count);
-    ByteVec guardSignature(ByteVec sig, const SignRequest &req);
+    ByteVec guardSignature(ByteVec sig, SignJob &job);
     void finishJob(Worker &w, SignJob &job, ByteVec sig);
     void failJob(SignJob &job, std::exception_ptr err);
+    void completeTrace(SignJob &job, bool ok);
     void completeOne();
 
     sphincs::Params params_;
@@ -198,6 +208,7 @@ class BatchSigner
     ShardedMpmcQueue<SignJob> queue_;
     unsigned laneGroup_;
     bool verifyAfterSign_;
+    telemetry::Telemetry tel_;
     std::vector<std::unique_ptr<Worker>> workers_;
 
     std::atomic<bool> closing_{false};

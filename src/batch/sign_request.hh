@@ -21,6 +21,7 @@
 #include <optional>
 
 #include "common/bytes.hh"
+#include "telemetry/trace.hh"
 
 namespace herosign::batch
 {
@@ -77,6 +78,11 @@ struct SignJob
     /// Set once the promise has been fulfilled or failed; lets the
     /// worker supervisor fail exactly the unsettled jobs of a pass.
     bool settled = false;
+    /// Stage stamps for the telemetry plane (all zero when the
+    /// owning signer's telemetry is disarmed).
+    telemetry::TraceClock trace;
+    /// kSpan* flag bits accumulated as the job progresses.
+    uint32_t traceFlags = 0;
 };
 
 } // namespace herosign::batch

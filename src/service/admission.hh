@@ -87,6 +87,11 @@ struct ServiceConfig
     /// signature can leak WOTS one-time key material).
     bool verifyAfterSign = false;
     Sha256Variant variant = Sha256Variant::Native;
+    /// Telemetry-plane knobs (stage histograms, trace sampling).
+    /// Applied to the service's private StatsRegistry; when a shared
+    /// registry is passed in, the registry's own telemetry
+    /// configuration wins.
+    telemetry::TelemetryConfig telemetry;
 };
 
 /** The pending-job limits an AdmissionController enforces. */

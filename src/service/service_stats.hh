@@ -21,6 +21,8 @@
 #include <mutex>
 #include <string>
 
+#include "telemetry/telemetry.hh"
+
 namespace herosign::service
 {
 
@@ -46,6 +48,12 @@ struct TenantStats
     uint64_t verifyFailures = 0;  ///< verify jobs that threw
     uint64_t pending = 0;         ///< admitted, not yet completed
     double sigsPerSec = 0;        ///< completed / epoch wall clock
+    /// End-to-end latency of this tenant's completed sign jobs (ns).
+    /// Filled only in sign-plane snapshots (see StatsRegistry::
+    /// snapshot's plane mask), so fabric merges can sum buckets.
+    telemetry::HistogramSnapshot signLatency;
+    /// Same for the async verify plane.
+    telemetry::HistogramSnapshot verifyLatency;
 };
 
 /** One snapshot of the whole serving layer. */
@@ -98,6 +106,13 @@ struct ServiceStats
     double verifiesPerSec = 0;
     CacheStats cache;
     std::map<std::string, TenantStats> tenants;
+    /// Per-stage latency and group-shape histograms from the
+    /// telemetry plane, keyed "<plane>_<metric>" (e.g.
+    /// "sign_queue_wait", "verify_crypto", "sign_group_size");
+    /// latency values are nanoseconds. Each service fills only its
+    /// own plane's keys, so the maps of a sign/verify pair are
+    /// disjoint and mergedWith() can sum buckets.
+    std::map<std::string, telemetry::HistogramSnapshot> stages;
 
     /**
      * Merge this snapshot with @p other into one fabric-wide view.
@@ -159,7 +174,14 @@ struct ServiceStats
                 std::max(dst.verifyFailures, t.verifyFailures);
             dst.pending = std::max(dst.pending, t.pending);
             dst.sigsPerSec = std::max(dst.sigsPerSec, t.sigsPerSec);
+            // Latency histograms are plane-masked at snapshot time
+            // (each input fills only its own plane), so summing
+            // buckets never double-counts.
+            dst.signLatency.merge(t.signLatency);
+            dst.verifyLatency.merge(t.verifyLatency);
         }
+        for (const auto &[key, snap] : other.stages)
+            m.stages[key].merge(snap);
         return m;
     }
 };
@@ -167,6 +189,10 @@ struct ServiceStats
 /** Live per-tenant counters; pointer-stable once created. */
 struct TenantCounters
 {
+    /// The tenant's key id, fixed at creation; hot paths label trace
+    /// spans with it without a registry lookup.
+    std::string id;
+
     std::atomic<uint64_t> signsSubmitted{0};
     std::atomic<uint64_t> signsCompleted{0};
     std::atomic<uint64_t> signFailures{0};
@@ -178,6 +204,12 @@ struct TenantCounters
     /// value the per-tenant quota is enforced against (see
     /// AdmissionController).
     std::atomic<uint64_t> pending{0};
+
+    /// Per-tenant end-to-end latency (ns), one histogram per plane.
+    /// Single-sharded: per-tenant write rates don't justify the
+    /// sharded footprint, and recording stays lock-free regardless.
+    telemetry::LatencyHistogram signLatency{1};
+    telemetry::LatencyHistogram verifyLatency{1};
 };
 
 /**
@@ -189,23 +221,52 @@ struct TenantCounters
 class StatsRegistry
 {
   public:
+    /// Plane-mask bits for snapshot(): which planes' per-tenant
+    /// latency histograms to include. Services pass only their own
+    /// plane so a sign/verify pair's snapshots stay disjoint and
+    /// mergedWith() can sum buckets.
+    static constexpr unsigned kSignPlane = 1u << 0;
+    static constexpr unsigned kVerifyPlane = 1u << 1;
+    static constexpr unsigned kBothPlanes = kSignPlane | kVerifyPlane;
+
+    explicit StatsRegistry(
+        const telemetry::TelemetryConfig &telemetry_config = {})
+        : telemetry_(telemetry_config)
+    {
+    }
+
     /** Find or create the counters for @p tenant. */
     TenantCounters &
     tenant(const std::string &tenant_id)
     {
         std::lock_guard<std::mutex> lk(m_);
         auto &slot = tenants_[tenant_id];
-        if (!slot)
+        if (!slot) {
             slot = std::make_unique<TenantCounters>();
+            slot->id = tenant_id;
+        }
         return *slot;
     }
 
     /**
+     * The registry's telemetry plane: every service wired to this
+     * registry stamps and records into it, so one snapshot covers
+     * the whole fabric.
+     */
+    telemetry::Telemetry &telemetry() { return telemetry_; }
+    const telemetry::Telemetry &telemetry() const
+    {
+        return telemetry_;
+    }
+
+    /**
      * Snapshot every tenant's counters; @p wall_us > 0 fills the
-     * per-tenant signing rates.
+     * per-tenant signing rates. @p plane_mask selects which planes'
+     * latency histograms to include (kSignPlane/kVerifyPlane bits).
      */
     std::map<std::string, TenantStats>
-    snapshot(double wall_us = 0) const
+    snapshot(double wall_us = 0,
+             unsigned plane_mask = kBothPlanes) const
     {
         std::lock_guard<std::mutex> lk(m_);
         std::map<std::string, TenantStats> out;
@@ -221,14 +282,33 @@ class StatsRegistry
             t.pending = c->pending.load();
             if (wall_us > 0)
                 t.sigsPerSec = t.signsCompleted * 1e6 / wall_us;
+            if (plane_mask & kSignPlane)
+                t.signLatency = c->signLatency.snapshot();
+            if (plane_mask & kVerifyPlane)
+                t.verifyLatency = c->verifyLatency.snapshot();
             out.emplace(id, t);
         }
         return out;
     }
 
+    /**
+     * Render @p snap (typically the mergedWith() of a fabric's
+     * per-service snapshots) as one line of JSON: counters, gauges,
+     * cache, per-stage histogram percentiles and per-tenant stats.
+     */
+    static std::string exportJson(const ServiceStats &snap);
+
+    /**
+     * Render @p snap in Prometheus text exposition format: TYPE/HELP
+     * comments, counter/gauge samples, and cumulative _bucket/_sum/
+     * _count series (latencies in seconds) per stage and tenant.
+     */
+    static std::string exportPrometheus(const ServiceStats &snap);
+
   private:
     mutable std::mutex m_;
     std::map<std::string, std::unique_ptr<TenantCounters>> tenants_;
+    telemetry::Telemetry telemetry_;
 };
 
 } // namespace herosign::service

@@ -36,7 +36,9 @@ SignService::SignService(KeyStore &store, const ServiceConfig &config,
                    : std::make_shared<ContextCache>(
                          config.contextCacheCapacity, config.variant)),
       statsReg_(stats ? std::move(stats)
-                      : std::make_shared<StatsRegistry>()),
+                      : std::make_shared<StatsRegistry>(
+                            config.telemetry)),
+      tel_(&statsReg_->telemetry()),
       admission_(admission
                      ? std::move(admission)
                      : std::make_shared<AdmissionController>(
@@ -143,6 +145,7 @@ SignService::submit(const std::string &key_id, batch::SignRequest req)
         task.callback = std::move(req.callback);
         task.deadline = req.deadline;
         auto fut = task.promise.get_future();
+        tel_->stamp(task.trace, telemetry::Stage::Admit);
         queue_.push(std::move(task));
         return fut;
     } catch (...) {
@@ -189,8 +192,31 @@ SignService::noteCompletion()
     drainCv_.notify_all();
 }
 
+void
+SignService::completeTrace(Task &task, bool ok)
+{
+    if (!tel_->enabled())
+        return;
+    tel_->stamp(task.trace, telemetry::Stage::Done);
+    telemetry::RequestOutcome out;
+    out.plane = telemetry::Plane::Sign;
+    out.seq = task.seq;
+    out.tenant = &task.tenant->id;
+    out.flags = task.traceFlags;
+    if (!ok)
+        out.flags |= telemetry::kSpanFailed;
+    if (FaultInjector::armed())
+        out.flags |= telemetry::kSpanFaultArmed;
+    // Failure timelines are sampled into the trace ring (with their
+    // flags) but kept out of the latency histograms, so percentiles
+    // describe successful traffic only.
+    out.recordHistograms = ok;
+    out.tenantEndToEnd = ok ? &task.tenant->signLatency : nullptr;
+    tel_->complete(task.trace, out);
+}
+
 ByteVec
-SignService::guardSignature(ByteVec sig, const Task &task)
+SignService::guardSignature(ByteVec sig, Task &task)
 {
     const WarmContext &warm = *task.warm;
     if (warm.scheme.verify(warm.ctx, task.msg, sig, warm.key->pk))
@@ -199,9 +225,12 @@ SignService::guardSignature(ByteVec sig, const Task &task)
     // SIMD tier that produced it process-wide and redo the job on the
     // forced-scalar path, which the simd-lane fault seam cannot touch
     // by construction.
+    task.traceFlags |= telemetry::kSpanGuardMismatch;
     guardMismatches_.fetch_add(1, std::memory_order_relaxed);
-    if (sha256LanesQuarantineActiveTier() != LaneBackend::Scalar)
+    if (sha256LanesQuarantineActiveTier() != LaneBackend::Scalar) {
+        task.traceFlags |= telemetry::kSpanLaneQuarantine;
         laneQuarantines_.fetch_add(1, std::memory_order_relaxed);
+    }
     ScopedScalarLanes scalar;
     ByteVec redo = warm.scheme.sign(warm.ctx, task.msg, warm.key->sk,
                                     task.optRand);
@@ -231,6 +260,7 @@ SignService::finishTask(Task &task, ByteVec sig)
                                           std::memory_order_relaxed);
     task.promise.set_value(std::move(sig));
     task.settled = true;
+    completeTrace(task, true);
     task.warm.reset(); // release the context pin promptly
     admission_->release(Plane::Sign, *task.tenant);
     noteCompletion();
@@ -245,6 +275,7 @@ SignService::failTask(Task &task, std::exception_ptr err)
     task.tenant->signFailures.fetch_add(1, std::memory_order_relaxed);
     task.promise.set_exception(std::move(err));
     task.settled = true;
+    completeTrace(task, false);
     task.warm.reset();
     admission_->release(Plane::Sign, *task.tenant);
     noteCompletion();
@@ -253,14 +284,24 @@ SignService::failTask(Task &task, std::exception_ptr err)
 void
 SignService::signSameContextGroup(Task *const tasks[], unsigned count)
 {
+    for (unsigned i = 0; i < count; ++i)
+        tel_->stamp(tasks[i]->trace, telemetry::Stage::GroupFormed);
+    tel_->recordGroup(telemetry::Plane::Sign, count,
+                      LaneScheduler::preferredGroup());
+
     if (count == 1) {
         Task &task = *tasks[0];
         try {
+            tel_->stamp(task.trace, telemetry::Stage::CryptoStart);
             ByteVec sig = task.warm->scheme.sign(
                 task.warm->ctx, task.msg, task.warm->key->sk,
                 task.optRand);
+            tel_->stamp(task.trace, telemetry::Stage::CryptoEnd);
             if (config_.verifyAfterSign)
                 sig = guardSignature(std::move(sig), task);
+            // Always stamped (equal to CryptoEnd when the guard is
+            // off) so the callback stage has a stable left edge.
+            tel_->stamp(task.trace, telemetry::Stage::GuardEnd);
             finishTask(task, std::move(sig));
         } catch (...) {
             failTask(task, std::current_exception());
@@ -289,6 +330,9 @@ SignService::signSameContextGroup(Task *const tasks[], unsigned count)
     }
     if (nlive == 0)
         return;
+    for (unsigned i = 0; i < nlive; ++i)
+        tel_->stamp(tasks[live[i]]->trace,
+                    telemetry::Stage::CryptoStart);
     bool ran = false;
     try {
         LaneScheduler::run(ptrs, nlive);
@@ -299,6 +343,9 @@ SignService::signSameContextGroup(Task *const tasks[], unsigned count)
     }
     if (!ran)
         return;
+    for (unsigned i = 0; i < nlive; ++i)
+        tel_->stamp(tasks[live[i]]->trace,
+                    telemetry::Stage::CryptoEnd);
     laneGroups_.fetch_add(1, std::memory_order_relaxed);
     crossSignJobs_.fetch_add(nlive, std::memory_order_relaxed);
     for (unsigned i = 0; i < nlive; ++i) {
@@ -307,6 +354,7 @@ SignService::signSameContextGroup(Task *const tasks[], unsigned count)
             ByteVec sig = sts[i]->takeSignature();
             if (config_.verifyAfterSign)
                 sig = guardSignature(std::move(sig), task);
+            tel_->stamp(task.trace, telemetry::Stage::GuardEnd);
             finishTask(task, std::move(sig));
         } catch (...) {
             failTask(task, std::current_exception());
@@ -330,6 +378,7 @@ SignService::processChunk(std::vector<Task> &chunk)
                             "still queued")));
         } else if (t.deadline && now > *t.deadline) {
             expired_.fetch_add(1, std::memory_order_relaxed);
+            t.traceFlags |= telemetry::kSpanExpired;
             failTask(t, std::make_exception_ptr(DeadlineExceeded(
                             "SignService: deadline passed while the "
                             "job was queued")));
@@ -370,9 +419,12 @@ SignService::workerLoop(unsigned id)
     while (queue_.pop(task, home)) {
         // Coalesce whatever is already queued — never wait for more.
         chunk.clear();
+        tel_->stamp(task.trace, telemetry::Stage::Dequeue);
         chunk.push_back(std::move(task));
-        while (chunk.size() < coalesce_ && queue_.tryPop(task, home))
+        while (chunk.size() < coalesce_ && queue_.tryPop(task, home)) {
+            tel_->stamp(task.trace, telemetry::Stage::Dequeue);
             chunk.push_back(std::move(task));
+        }
 
         try {
             if (FaultInjector::fire(FaultPoint::QueueStall))
@@ -407,13 +459,7 @@ ServiceStats
 SignService::stats() const
 {
     ServiceStats st;
-    // Completed loads before submitted so inFlight cannot underflow
-    // (a job never completes before it is submitted); the
-    // completed/failures difference below is clamped instead, since
-    // a failing job bumps failures_ strictly before completed_.
     st.signFailures = failures_.load(std::memory_order_relaxed);
-    st.signsCompleted = completed_.load(std::memory_order_acquire);
-    st.signsSubmitted = submitted_.load(std::memory_order_acquire);
     st.signsRejected = rejected_.load(std::memory_order_relaxed);
     st.signLaneGroups = laneGroups_.load(std::memory_order_relaxed);
     st.signCrossSignJobs =
@@ -427,10 +473,20 @@ SignService::stats() const
         guardMismatches_.load(std::memory_order_relaxed);
     st.laneQuarantines =
         laneQuarantines_.load(std::memory_order_relaxed);
-    st.inFlight = st.signsSubmitted - st.signsCompleted;
-    st.queueDepth = queue_.sizeApprox();
     {
+        // One consistent snapshot of the counters AND the gauges:
+        // submit() claims its sequence number and noteCompletion()
+        // records each completion both under drainM_, so holding it
+        // here freezes submitted_/completed_ — inFlight is exact,
+        // and every task still in the queue is necessarily
+        // submitted-and-not-completed, so queueDepth <= inFlight
+        // holds in the snapshot. (No lock-order inversion: no thread
+        // takes drainM_ while holding a queue shard mutex.)
         std::lock_guard<std::mutex> lk(drainM_);
+        st.signsCompleted = completed_.load(std::memory_order_acquire);
+        st.signsSubmitted = submitted_.load(std::memory_order_acquire);
+        st.inFlight = st.signsSubmitted - st.signsCompleted;
+        st.queueDepth = queue_.sizeApprox();
         if (epochOpen_ && st.signsCompleted > 0)
             st.wallUs = std::chrono::duration<double, std::micro>(
                             lastCompletion_ - epochStart_)
@@ -441,7 +497,9 @@ SignService::stats() const
                             : 0;
     st.sigsPerSec = st.wallUs > 0 ? ok * 1e6 / st.wallUs : 0.0;
     st.cache = cache_->stats();
-    st.tenants = statsReg_->snapshot(st.wallUs);
+    st.tenants =
+        statsReg_->snapshot(st.wallUs, StatsRegistry::kSignPlane);
+    st.stages = tel_->snapshotStages(telemetry::Plane::Sign);
     return st;
 }
 

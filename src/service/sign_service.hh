@@ -159,6 +159,9 @@ class SignService
         /// Set once the promise is fulfilled or failed; lets the
         /// worker supervisor fail exactly the unsettled tasks.
         bool settled = false;
+        /// Telemetry stage stamps plus accumulated kSpan* flags.
+        telemetry::TraceClock trace;
+        uint32_t traceFlags = 0;
     };
 
     struct Worker
@@ -172,12 +175,16 @@ class SignService
     void failTask(Task &task, std::exception_ptr err);
     void noteCompletion();
     void signSameContextGroup(Task *const tasks[], unsigned count);
-    ByteVec guardSignature(ByteVec sig, const Task &task);
+    ByteVec guardSignature(ByteVec sig, Task &task);
+    void completeTrace(Task &task, bool ok);
 
     KeyStore &store_;
     ServiceConfig config_;
     std::shared_ptr<ContextCache> cache_;
     std::shared_ptr<StatsRegistry> statsReg_;
+    /// The shared registry's telemetry plane (never null; cached so
+    /// hot paths skip the shared_ptr indirection).
+    telemetry::Telemetry *tel_;
     std::shared_ptr<AdmissionController> admission_;
     batch::ShardedMpmcQueue<Task> queue_;
     unsigned coalesce_;

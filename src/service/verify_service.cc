@@ -30,7 +30,9 @@ VerifyService::VerifyService(
                    : std::make_shared<ContextCache>(
                          config.contextCacheCapacity, config.variant)),
       statsReg_(stats ? std::move(stats)
-                      : std::make_shared<StatsRegistry>()),
+                      : std::make_shared<StatsRegistry>(
+                            config.telemetry)),
+      tel_(&statsReg_->telemetry()),
       admission_(admission
                      ? std::move(admission)
                      : std::make_shared<AdmissionController>(
@@ -119,6 +121,11 @@ VerifyService::runGroup(const WarmContext &warm, TenantCounters &tc,
     auto flags =
         warm.scheme.verifyBatch(warm.ctx, msgs, sigs, warm.key->pk);
     const uint64_t n = msgs.size();
+    // Group-shape telemetry covers both planes' callers of runGroup:
+    // the async batcher's coalesced groups and the synchronous
+    // per-tenant groups alike.
+    tel_->recordGroup(telemetry::Plane::Verify, n,
+                      sphincs::hashLaneWidth());
     verifies_.fetch_add(n, std::memory_order_relaxed);
     tc.verifies.fetch_add(n, std::memory_order_relaxed);
     uint64_t group_rejects = 0;
@@ -245,6 +252,7 @@ VerifyService::submit(const std::string &key_id,
         task.sig = std::move(sig);
         task.deadline = req.deadline;
         auto fut = task.promise.get_future();
+        tel_->stamp(task.trace, telemetry::Stage::Admit);
         queue_.push(std::move(task));
         return fut;
     } catch (...) {
@@ -286,14 +294,18 @@ VerifyService::workerLoop(unsigned id)
     Task task;
     while (queue_.pop(task, home)) {
         chunk.clear();
+        tel_->stamp(task.trace, telemetry::Stage::Dequeue);
         chunk.push_back(std::move(task));
         // Lane-filling coalescing: opportunistically drain the queue
         // up to the coalescing window so the per-tenant groups below
         // reach the dispatched lane width even when tenants
         // interleave in the arrival order.
         Task extra;
-        while (chunk.size() < coalesce_ && queue_.tryPop(extra, home))
+        while (chunk.size() < coalesce_ &&
+               queue_.tryPop(extra, home)) {
+            tel_->stamp(extra.trace, telemetry::Stage::Dequeue);
             chunk.push_back(std::move(extra));
+        }
         try {
             if (FaultInjector::fire(FaultPoint::QueueStall))
                 std::this_thread::sleep_for(
@@ -314,6 +326,25 @@ VerifyService::workerLoop(unsigned id)
 }
 
 void
+VerifyService::completeTrace(Task &task, bool ok)
+{
+    if (!tel_->enabled())
+        return;
+    tel_->stamp(task.trace, telemetry::Stage::Done);
+    telemetry::RequestOutcome out;
+    out.plane = telemetry::Plane::Verify;
+    out.tenant = &task.tenant->id;
+    out.flags = task.traceFlags;
+    if (!ok)
+        out.flags |= telemetry::kSpanFailed;
+    if (FaultInjector::armed())
+        out.flags |= telemetry::kSpanFaultArmed;
+    out.recordHistograms = ok;
+    out.tenantEndToEnd = ok ? &task.tenant->verifyLatency : nullptr;
+    tel_->complete(task.trace, out);
+}
+
+void
 VerifyService::failTask(Task &task, std::exception_ptr err)
 {
     if (task.settled)
@@ -323,6 +354,7 @@ VerifyService::failTask(Task &task, std::exception_ptr err)
                                           std::memory_order_relaxed);
     task.promise.set_exception(std::move(err));
     task.settled = true;
+    completeTrace(task, false);
     task.warm.reset();
     admission_->release(Plane::Verify, *task.tenant);
     noteCompletion(1);
@@ -344,6 +376,7 @@ VerifyService::processChunk(std::vector<Task> &chunk)
                             "was still queued")));
         } else if (t.deadline && now > *t.deadline) {
             expired_.fetch_add(1, std::memory_order_relaxed);
+            t.traceFlags |= telemetry::kSpanExpired;
             failTask(t, std::make_exception_ptr(DeadlineExceeded(
                             "VerifyService: deadline passed while "
                             "the request was queued")));
@@ -365,14 +398,25 @@ VerifyService::processChunk(std::vector<Task> &chunk)
         std::vector<ByteSpan> msgs(idxs.size());
         std::vector<ByteSpan> sigs(idxs.size());
         for (size_t j = 0; j < idxs.size(); ++j) {
-            msgs[j] = ByteSpan(chunk[idxs[j]].msg);
-            sigs[j] = ByteSpan(chunk[idxs[j]].sig);
+            Task &t = chunk[idxs[j]];
+            tel_->stamp(t.trace, telemetry::Stage::GroupFormed);
+            msgs[j] = ByteSpan(t.msg);
+            sigs[j] = ByteSpan(t.sig);
         }
         try {
+            for (size_t j = 0; j < idxs.size(); ++j)
+                tel_->stamp(chunk[idxs[j]].trace,
+                            telemetry::Stage::CryptoStart);
             auto flags = runGroup(*warm, tc, msgs, sigs);
             for (size_t j = 0; j < idxs.size(); ++j) {
-                chunk[idxs[j]].promise.set_value(flags[j] != 0);
-                chunk[idxs[j]].settled = true;
+                Task &t = chunk[idxs[j]];
+                // Verification has no guard pass; GuardEnd ==
+                // CryptoEnd keeps the callback stage well-defined.
+                tel_->stamp(t.trace, telemetry::Stage::CryptoEnd);
+                tel_->stamp(t.trace, telemetry::Stage::GuardEnd);
+                t.promise.set_value(flags[j] != 0);
+                t.settled = true;
+                completeTrace(t, true);
             }
         } catch (...) {
             failures_.fetch_add(idxs.size(),
@@ -380,9 +424,10 @@ VerifyService::processChunk(std::vector<Task> &chunk)
             tc.verifyFailures.fetch_add(idxs.size(),
                                         std::memory_order_relaxed);
             for (size_t j = 0; j < idxs.size(); ++j) {
-                chunk[idxs[j]].promise.set_exception(
-                    std::current_exception());
-                chunk[idxs[j]].settled = true;
+                Task &t = chunk[idxs[j]];
+                t.promise.set_exception(std::current_exception());
+                t.settled = true;
+                completeTrace(t, false);
             }
         }
         for (size_t j = 0; j < idxs.size(); ++j)
@@ -406,13 +451,8 @@ ServiceStats
 VerifyService::stats() const
 {
     ServiceStats st;
-    // Completed loads before submitted so verifyInFlight cannot
-    // underflow (a request never completes before it is accepted).
     st.verifyFailures = failures_.load(std::memory_order_relaxed);
     st.verifies = verifies_.load(std::memory_order_relaxed);
-    const uint64_t done = completed_.load(std::memory_order_acquire);
-    st.verifiesSubmitted = submitted_.load(std::memory_order_acquire);
-    st.verifyInFlight = st.verifiesSubmitted - done;
     st.verifiesRejected = rejected_.load(std::memory_order_relaxed);
     st.verifyRejects = rejects_.load(std::memory_order_relaxed);
     st.unknownTenantRejects =
@@ -420,9 +460,20 @@ VerifyService::stats() const
     st.verifyExpired = expired_.load(std::memory_order_relaxed);
     st.verifyWorkerRestarts =
         workerRestarts_.load(std::memory_order_relaxed);
-    st.verifyQueueDepth = queue_.sizeApprox();
+    uint64_t done;
     {
+        // One consistent snapshot of the counters AND the gauges:
+        // openEpochAndCountSubmitted() and noteCompletion() both
+        // serialize on epochM_, so holding it here freezes
+        // submitted_/completed_ — verifyInFlight is exact, and every
+        // request still queued is submitted-and-not-completed, so
+        // verifyQueueDepth <= verifyInFlight holds in the snapshot.
         std::lock_guard<std::mutex> lk(epochM_);
+        done = completed_.load(std::memory_order_acquire);
+        st.verifiesSubmitted =
+            submitted_.load(std::memory_order_acquire);
+        st.verifyInFlight = st.verifiesSubmitted - done;
+        st.verifyQueueDepth = queue_.sizeApprox();
         if (epochOpen_ && done > 0)
             st.wallUs = std::chrono::duration<double, std::micro>(
                             lastCompletion_ - epochStart_)
@@ -431,7 +482,9 @@ VerifyService::stats() const
     st.verifiesPerSec =
         st.wallUs > 0 ? st.verifies * 1e6 / st.wallUs : 0.0;
     st.cache = cache_->stats();
-    st.tenants = statsReg_->snapshot();
+    st.tenants =
+        statsReg_->snapshot(0, StatsRegistry::kVerifyPlane);
+    st.stages = tel_->snapshotStages(telemetry::Plane::Verify);
     return st;
 }
 

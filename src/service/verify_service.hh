@@ -199,11 +199,15 @@ class VerifyService
         /// Set once the promise is fulfilled or failed; lets the
         /// worker supervisor fail exactly the unsettled tasks.
         bool settled = false;
+        /// Telemetry stage stamps plus accumulated kSpan* flags.
+        telemetry::TraceClock trace;
+        uint32_t traceFlags = 0;
     };
 
     void workerLoop(unsigned id);
     void processChunk(std::vector<Task> &chunk);
     void failTask(Task &task, std::exception_ptr err);
+    void completeTrace(Task &task, bool ok);
 
     /**
      * Run one same-context group through the lane-parallel verifier
@@ -222,6 +226,9 @@ class VerifyService
     ServiceConfig config_;
     std::shared_ptr<ContextCache> cache_;
     std::shared_ptr<StatsRegistry> statsReg_;
+    /// The shared registry's telemetry plane (never null; cached so
+    /// hot paths skip the shared_ptr indirection).
+    telemetry::Telemetry *tel_;
     std::shared_ptr<AdmissionController> admission_;
     batch::ShardedMpmcQueue<Task> queue_;
     unsigned coalesce_;

@@ -1,0 +1,177 @@
+#include "histogram.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+namespace herosign::telemetry
+{
+
+namespace
+{
+
+unsigned
+autoShards()
+{
+    unsigned hw = std::thread::hardware_concurrency();
+    if (hw == 0)
+        hw = 4;
+    // Shards beyond the core count buy nothing; cap the footprint.
+    return std::min(hw, 16u);
+}
+
+/// Round-robin thread→shard binding: each thread draws one ticket the
+/// first time it records anywhere and keeps it for life.
+unsigned
+threadTicket()
+{
+    static std::atomic<unsigned> next{0};
+    thread_local unsigned ticket =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return ticket;
+}
+
+} // namespace
+
+uint64_t
+HistogramSnapshot::percentile(double q) const
+{
+    if (count == 0)
+        return 0;
+    q = std::clamp(q, 0.0, 1.0);
+    const auto target = static_cast<uint64_t>(
+        std::ceil(q * static_cast<double>(count)));
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < counts.size(); ++i)
+    {
+        cumulative += counts[i];
+        if (cumulative >= target && counts[i] != 0)
+        {
+            const uint64_t bound = LatencyHistogram::bucketUpperBound(
+                static_cast<unsigned>(i));
+            // The top bucket's nominal bound exceeds anything actually
+            // recorded; the tracked max is the tighter truth there.
+            return std::min(bound, max);
+        }
+    }
+    return max;
+}
+
+void
+HistogramSnapshot::merge(const HistogramSnapshot &other)
+{
+    if (other.counts.size() > counts.size())
+        counts.resize(other.counts.size(), 0);
+    for (size_t i = 0; i < other.counts.size(); ++i)
+        counts[i] += other.counts[i];
+    if (other.count != 0)
+    {
+        min = count == 0 ? other.min : std::min(min, other.min);
+        max = std::max(max, other.max);
+    }
+    count += other.count;
+    sum += other.sum;
+}
+
+LatencyHistogram::LatencyHistogram(unsigned shards)
+{
+    if (shards == 0)
+        shards = autoShards();
+    shards_.reserve(shards);
+    for (unsigned i = 0; i < shards; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+}
+
+unsigned
+LatencyHistogram::bucketIndex(uint64_t value)
+{
+    if (value < kSubBuckets)
+        return static_cast<unsigned>(value);
+    const unsigned msb =
+        63u - static_cast<unsigned>(std::countl_zero(value));
+    unsigned shift = msb - kSubBits + 1;
+    if (shift > kMaxShift)
+    {
+        shift = kMaxShift;
+        value = (uint64_t{kSubBuckets} << kMaxShift) - 1;
+    }
+    const auto mantissa =
+        static_cast<unsigned>(value >> shift); // in [16, 32)
+    return kSubBuckets + (shift - 1) * (kSubBuckets / 2) +
+           (mantissa - kSubBuckets / 2);
+}
+
+uint64_t
+LatencyHistogram::bucketUpperBound(unsigned index)
+{
+    if (index < kSubBuckets)
+        return index;
+    const unsigned shift = (index - kSubBuckets) / (kSubBuckets / 2) + 1;
+    const unsigned mantissa =
+        (index - kSubBuckets) % (kSubBuckets / 2) + kSubBuckets / 2;
+    return ((uint64_t{mantissa} + 1) << shift) - 1;
+}
+
+LatencyHistogram::Shard &
+LatencyHistogram::shardForThisThread()
+{
+    return *shards_[threadTicket() %
+                    static_cast<unsigned>(shards_.size())];
+}
+
+void
+LatencyHistogram::record(uint64_t value)
+{
+    Shard &shard = shardForThisThread();
+    shard.buckets[bucketIndex(value)].fetch_add(
+        1, std::memory_order_relaxed);
+    shard.sum.fetch_add(value, std::memory_order_relaxed);
+    uint64_t seen = shard.min.load(std::memory_order_relaxed);
+    while (value < seen &&
+           !shard.min.compare_exchange_weak(
+               seen, value, std::memory_order_relaxed))
+    {
+    }
+    seen = shard.max.load(std::memory_order_relaxed);
+    while (value > seen &&
+           !shard.max.compare_exchange_weak(
+               seen, value, std::memory_order_relaxed))
+    {
+    }
+}
+
+HistogramSnapshot
+LatencyHistogram::snapshot() const
+{
+    HistogramSnapshot out;
+    std::vector<uint64_t> counts(kBuckets, 0);
+    uint64_t total = 0;
+    uint64_t minSeen = UINT64_MAX;
+    for (const auto &shard : shards_)
+    {
+        for (unsigned i = 0; i < kBuckets; ++i)
+        {
+            const uint64_t c =
+                shard->buckets[i].load(std::memory_order_relaxed);
+            counts[i] += c;
+            total += c;
+        }
+        minSeen = std::min(
+            minSeen, shard->min.load(std::memory_order_relaxed));
+        out.max = std::max(
+            out.max, shard->max.load(std::memory_order_relaxed));
+        out.sum += shard->sum.load(std::memory_order_relaxed);
+    }
+    out.count = total;
+    out.min = minSeen == UINT64_MAX ? 0 : minSeen;
+    // Trim the (usually long) empty tail so snapshots stay small.
+    unsigned last = 0;
+    for (unsigned i = 0; i < kBuckets; ++i)
+        if (counts[i] != 0)
+            last = i + 1;
+    counts.resize(last);
+    out.counts = std::move(counts);
+    return out;
+}
+
+} // namespace herosign::telemetry

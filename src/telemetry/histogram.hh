@@ -1,0 +1,132 @@
+/**
+ * @file
+ * LatencyHistogram: a lock-free, per-worker-sharded, log-linear
+ * (HDR-style) histogram for the telemetry plane.
+ *
+ * Values are unsigned 64-bit (the serving layer records nanoseconds;
+ * the group-size metrics record raw counts). Buckets are exact up to
+ * kSubBuckets, then each power-of-two octave is split into
+ * kSubBuckets/2 linear sub-buckets, giving a bounded relative error
+ * of 1/kSubBuckets (~3%) at every magnitude. record() is
+ * constant-time — one index computation plus four relaxed atomic
+ * updates on the calling thread's shard — and never allocates or
+ * locks, so it is safe on every hot path. snapshot() merges the
+ * shards into an immutable HistogramSnapshot that supports exact
+ * bucket-walk percentiles (p50/p90/p99/p999), min/max/mean, and
+ * merge() with another snapshot (buckets summed, min/max folded) for
+ * fabric-wide views.
+ */
+
+#ifndef HEROSIGN_TELEMETRY_HISTOGRAM_HH
+#define HEROSIGN_TELEMETRY_HISTOGRAM_HH
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace herosign::telemetry
+{
+
+/** Immutable merged view of a LatencyHistogram (or several). */
+struct HistogramSnapshot
+{
+    /// Per-bucket counts, trimmed after the last non-empty bucket
+    /// (indices follow LatencyHistogram::bucketIndex).
+    std::vector<uint64_t> counts;
+    uint64_t count = 0; ///< total recorded values
+    uint64_t min = 0;   ///< smallest recorded value (0 when empty)
+    uint64_t max = 0;   ///< largest recorded value
+    /// Sum of recorded values; may lag `count` by in-flight records
+    /// torn between the bucket and sum updates of a live snapshot.
+    uint64_t sum = 0;
+
+    bool empty() const { return count == 0; }
+
+    double
+    mean() const
+    {
+        return count == 0
+                   ? 0.0
+                   : static_cast<double>(sum) /
+                         static_cast<double>(count);
+    }
+
+    /**
+     * The value at quantile @p q in (0, 1]: the upper bound of the
+     * bucket where the cumulative count first reaches ceil(q*count),
+     * so a percentile is never under-reported. 0 when empty.
+     */
+    uint64_t percentile(double q) const;
+
+    /** Fold @p other in: buckets summed, min/max folded, sums added. */
+    void merge(const HistogramSnapshot &other);
+};
+
+/**
+ * The live, writable histogram. Shard count fixes at construction
+ * (0 = auto); each recording thread is bound round-robin to one
+ * shard, so concurrent writers on different shards never contend on
+ * a cache line of counters.
+ */
+class LatencyHistogram
+{
+  public:
+    /// Sub-bucket precision: 2^5 = 32 exact values, then 16 linear
+    /// sub-buckets per octave (~3% relative error).
+    static constexpr unsigned kSubBits = 5;
+    static constexpr unsigned kSubBuckets = 1u << kSubBits;
+    /// Largest distinguishable value: 2^42 ns is ~73 minutes; larger
+    /// values clamp into the top bucket.
+    static constexpr unsigned kMaxShift = 42 - kSubBits + 1;
+    static constexpr unsigned kBuckets =
+        kSubBuckets + kMaxShift * (kSubBuckets / 2);
+
+    /** @param shards writer shards; 0 = auto (a small fixed fan-out) */
+    explicit LatencyHistogram(unsigned shards = 0);
+
+    LatencyHistogram(const LatencyHistogram &) = delete;
+    LatencyHistogram &operator=(const LatencyHistogram &) = delete;
+
+    /** Record one value. Lock-free, constant-time, no allocation. */
+    void record(uint64_t value);
+
+    /** Merge every shard into one immutable snapshot. */
+    HistogramSnapshot snapshot() const;
+
+    unsigned
+    shards() const
+    {
+        return static_cast<unsigned>(shards_.size());
+    }
+
+    /** Bucket index of @p value (monotone in value). */
+    static unsigned bucketIndex(uint64_t value);
+
+    /** Largest value mapping into bucket @p index. */
+    static uint64_t bucketUpperBound(unsigned index);
+
+  private:
+    struct Shard
+    {
+        std::atomic<uint64_t> buckets[kBuckets];
+        std::atomic<uint64_t> min{UINT64_MAX};
+        std::atomic<uint64_t> max{0};
+        std::atomic<uint64_t> sum{0};
+
+        Shard()
+        {
+            for (auto &b : buckets)
+                b.store(0, std::memory_order_relaxed);
+        }
+    };
+
+    Shard &shardForThisThread();
+
+    std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+} // namespace herosign::telemetry
+
+#endif // HEROSIGN_TELEMETRY_HISTOGRAM_HH

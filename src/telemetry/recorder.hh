@@ -1,0 +1,159 @@
+/**
+ * @file
+ * TraceRecorder: a bounded ring buffer of full per-request span
+ * records for a deterministically sampled subset of traffic.
+ *
+ * Writers claim a slot by CAS-ing its version counter from even to
+ * odd, copy the span in, and release by bumping back to even.
+ * dump() takes the same lock per slot, so readers never observe a
+ * torn span and the whole structure is TSan-clean without a global
+ * mutex. A writer that loses the CAS (another writer or a dump holds
+ * the slot) drops its sample and counts the drop — the hot path
+ * never spins, blocks, or allocates.
+ */
+
+#ifndef HEROSIGN_TELEMETRY_RECORDER_HH
+#define HEROSIGN_TELEMETRY_RECORDER_HH
+
+#include "telemetry/trace.hh"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace herosign::telemetry
+{
+
+/// Span flag bits: failure/fault context captured with the timeline.
+inline constexpr uint32_t kSpanFailed = 1u << 0;
+inline constexpr uint32_t kSpanExpired = 1u << 1;
+inline constexpr uint32_t kSpanGuardMismatch = 1u << 2;
+inline constexpr uint32_t kSpanLaneQuarantine = 1u << 3;
+inline constexpr uint32_t kSpanFaultArmed = 1u << 4;
+
+/** One sampled request timeline. Fixed-size, trivially copyable. */
+struct TraceSpan
+{
+    static constexpr unsigned kTenantBytes = 24;
+
+    uint64_t index = 0; ///< global sample ordinal (gap-free per
+                        ///< recorder; holes mean dropped samples)
+    uint64_t seq = 0;   ///< the plane's request sequence number
+    uint64_t ts[kStageCount] = {}; ///< stage stamps (ns, 0 = unset)
+    uint32_t flags = 0;            ///< kSpan* bits
+    Plane plane = Plane::Sign;
+    char tenant[kTenantBytes] = {}; ///< NUL-terminated, truncated
+
+    void
+    setTenant(const std::string &id)
+    {
+        const size_t n =
+            std::min(id.size(), size_t{kTenantBytes - 1});
+        std::memcpy(tenant, id.data(), n);
+        tenant[n] = '\0';
+    }
+};
+
+class TraceRecorder
+{
+  public:
+    explicit TraceRecorder(size_t capacity)
+        : capacity_(capacity == 0 ? 1 : capacity),
+          slots_(std::make_unique<Slot[]>(
+              capacity == 0 ? 1 : capacity))
+    {
+    }
+
+    /**
+     * Publish @p span into the ring (overwriting the oldest entry).
+     * Lock-free fast path; drops (and counts) on slot contention.
+     */
+    void
+    record(TraceSpan span)
+    {
+        const uint64_t idx =
+            writeIndex_.fetch_add(1, std::memory_order_relaxed);
+        span.index = idx;
+        Slot &slot = slots_[idx % capacity_];
+        uint64_t ver = slot.version.load(std::memory_order_relaxed);
+        if ((ver & 1) != 0 ||
+            !slot.version.compare_exchange_strong(
+                ver, ver + 1, std::memory_order_acquire))
+        {
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        slot.span = span;
+        slot.full = true;
+        slot.version.store(ver + 2, std::memory_order_release);
+    }
+
+    /**
+     * Copy out every recorded span, oldest first. Skips (and leaves
+     * untouched) slots a writer holds mid-copy.
+     */
+    std::vector<TraceSpan>
+    dump() const
+    {
+        std::vector<TraceSpan> out;
+        out.reserve(capacity_);
+        for (size_t i = 0; i < capacity_; ++i)
+        {
+            Slot &slot = slots_[i];
+            uint64_t ver =
+                slot.version.load(std::memory_order_relaxed);
+            if ((ver & 1) != 0 ||
+                !slot.version.compare_exchange_strong(
+                    ver, ver + 1, std::memory_order_acquire))
+                continue;
+            TraceSpan copy = slot.span;
+            const bool full = slot.full;
+            slot.version.store(ver + 2, std::memory_order_release);
+            if (full)
+                out.push_back(copy);
+        }
+        std::sort(out.begin(), out.end(),
+                  [](const TraceSpan &a, const TraceSpan &b) {
+                      return a.index < b.index;
+                  });
+        return out;
+    }
+
+    size_t capacity() const { return capacity_; }
+
+    /** Samples lost to slot contention (writer/dump collisions). */
+    uint64_t
+    dropped() const
+    {
+        return dropped_.load(std::memory_order_relaxed);
+    }
+
+    /** Samples offered so far (recorded + dropped). */
+    uint64_t
+    offered() const
+    {
+        return writeIndex_.load(std::memory_order_relaxed);
+    }
+
+  private:
+    struct Slot
+    {
+        /// Even = free, odd = held by a writer or a dump.
+        std::atomic<uint64_t> version{0};
+        bool full = false;
+        TraceSpan span;
+    };
+
+    size_t capacity_;
+    mutable std::unique_ptr<Slot[]> slots_;
+    std::atomic<uint64_t> writeIndex_{0};
+    std::atomic<uint64_t> dropped_{0};
+};
+
+} // namespace herosign::telemetry
+
+#endif // HEROSIGN_TELEMETRY_RECORDER_HH

@@ -1,0 +1,72 @@
+#include "reporter.hh"
+
+#include <fstream>
+
+namespace herosign::telemetry
+{
+
+MetricsReporter::MetricsReporter(std::string path,
+                                 std::chrono::milliseconds period,
+                                 Producer producer)
+    : path_(std::move(path)), period_(period),
+      producer_(std::move(producer)),
+      thread_([this] { run(); })
+{
+}
+
+MetricsReporter::~MetricsReporter() { stop(); }
+
+void
+MetricsReporter::stop()
+{
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        if (stopping_)
+            return;
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable())
+        thread_.join();
+    // Final flush: a short soak must still capture its end state.
+    appendLine();
+}
+
+uint64_t
+MetricsReporter::linesWritten() const
+{
+    std::lock_guard<std::mutex> lock(m_);
+    return lines_;
+}
+
+void
+MetricsReporter::run()
+{
+    std::unique_lock<std::mutex> lock(m_);
+    while (!stopping_)
+    {
+        if (cv_.wait_for(lock, period_,
+                         [this] { return stopping_; }))
+            break;
+        lock.unlock();
+        appendLine();
+        lock.lock();
+    }
+}
+
+void
+MetricsReporter::appendLine()
+{
+    std::string line = producer_();
+    std::ofstream out(path_, std::ios::app);
+    if (!out)
+        return;
+    out << line << '\n';
+    if (out)
+    {
+        std::lock_guard<std::mutex> lock(m_);
+        ++lines_;
+    }
+}
+
+} // namespace herosign::telemetry

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * MetricsReporter: a background thread that periodically appends
+ * one-line JSON snapshots to a file (JSONL), for soak runs and
+ * post-hoc trend analysis.
+ *
+ * The reporter is layered below the service: it takes an opaque
+ * producer callback (typically StatsRegistry::exportJson bound over
+ * the live registry) rather than depending on the stats types, so
+ * the telemetry library stays free of service headers.
+ */
+
+#ifndef HEROSIGN_TELEMETRY_REPORTER_HH
+#define HEROSIGN_TELEMETRY_REPORTER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace herosign::telemetry
+{
+
+class MetricsReporter
+{
+  public:
+    /// Produces one snapshot line (single-line JSON, no trailing
+    /// newline). Called from the reporter thread.
+    using Producer = std::function<std::string()>;
+
+    /**
+     * Start reporting: append one produced line to @p path every
+     * @p period until stop()/destruction. The first line is written
+     * after the first period elapses; stop() flushes a final line so
+     * short runs still capture an end-state snapshot.
+     */
+    MetricsReporter(std::string path, std::chrono::milliseconds period,
+                    Producer producer);
+
+    MetricsReporter(const MetricsReporter &) = delete;
+    MetricsReporter &operator=(const MetricsReporter &) = delete;
+
+    ~MetricsReporter();
+
+    /** Stop the thread, appending one final snapshot line. */
+    void stop();
+
+    /** Lines successfully appended so far. */
+    uint64_t linesWritten() const;
+
+  private:
+    void run();
+    void appendLine();
+
+    std::string path_;
+    std::chrono::milliseconds period_;
+    Producer producer_;
+    mutable std::mutex m_;
+    std::condition_variable cv_;
+    bool stopping_ = false;
+    uint64_t lines_ = 0;
+    std::thread thread_;
+};
+
+} // namespace herosign::telemetry
+
+#endif // HEROSIGN_TELEMETRY_REPORTER_HH

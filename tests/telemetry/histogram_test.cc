@@ -1,0 +1,211 @@
+/**
+ * @file
+ * LatencyHistogram unit suite: bucket mapping invariants, exact-
+ * bucket percentile semantics (never under-reporting, bounded
+ * relative error), lock-free concurrent recording, and snapshot
+ * merge algebra (buckets summed, min/max folded). The concurrent
+ * cases are TSan targets.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "telemetry/histogram.hh"
+
+using herosign::telemetry::HistogramSnapshot;
+using herosign::telemetry::LatencyHistogram;
+
+TEST(LatencyHistogram, BucketIndexIsExactBelowSubBuckets)
+{
+    for (uint64_t v = 0; v < LatencyHistogram::kSubBuckets; ++v) {
+        EXPECT_EQ(LatencyHistogram::bucketIndex(v), v);
+        EXPECT_EQ(LatencyHistogram::bucketUpperBound(
+                      static_cast<unsigned>(v)),
+                  v);
+    }
+}
+
+TEST(LatencyHistogram, BucketIndexIsMonotoneAndBoundsNest)
+{
+    unsigned prev = 0;
+    for (uint64_t v = 1; v < (uint64_t{1} << 45); v = v * 2 + 7) {
+        const unsigned idx = LatencyHistogram::bucketIndex(v);
+        EXPECT_GE(idx, prev) << "value " << v;
+        EXPECT_LT(idx, LatencyHistogram::kBuckets);
+        prev = idx;
+    }
+    // Every value maps into a bucket whose upper bound is >= the
+    // value (within the clamp range) and whose relative width is
+    // bounded by 1/kSubBuckets * 2.
+    std::mt19937_64 rng(42);
+    for (int i = 0; i < 20000; ++i) {
+        const uint64_t v = rng() % (uint64_t{1} << 40);
+        const unsigned idx = LatencyHistogram::bucketIndex(v);
+        const uint64_t ub = LatencyHistogram::bucketUpperBound(idx);
+        EXPECT_GE(ub, v);
+        if (v >= LatencyHistogram::kSubBuckets) {
+            EXPECT_LE(static_cast<double>(ub),
+                      static_cast<double>(v) *
+                          (1.0 +
+                           2.0 / LatencyHistogram::kSubBuckets) +
+                          1.0)
+                << "bucket too wide for " << v;
+        }
+    }
+}
+
+TEST(LatencyHistogram, PercentileNeverUnderReports)
+{
+    LatencyHistogram h(1);
+    std::vector<uint64_t> values;
+    std::mt19937_64 rng(7);
+    for (int i = 0; i < 5000; ++i) {
+        const uint64_t v = 50 + rng() % 2'000'000;
+        values.push_back(v);
+        h.record(v);
+    }
+    std::sort(values.begin(), values.end());
+    auto snap = h.snapshot();
+    ASSERT_EQ(snap.count, values.size());
+    EXPECT_EQ(snap.min, values.front());
+    EXPECT_EQ(snap.max, values.back());
+    for (double q : {0.5, 0.9, 0.99, 0.999}) {
+        const size_t rank = static_cast<size_t>(
+            std::ceil(q * static_cast<double>(values.size())));
+        const uint64_t exact = values[rank - 1];
+        const uint64_t est = snap.percentile(q);
+        EXPECT_GE(est, exact) << "q=" << q;
+        EXPECT_LE(static_cast<double>(est),
+                  static_cast<double>(exact) * 1.07 + 1.0)
+            << "q=" << q;
+    }
+    EXPECT_EQ(snap.percentile(1.0), values.back());
+}
+
+TEST(LatencyHistogram, EmptySnapshotIsAllZero)
+{
+    LatencyHistogram h(2);
+    auto snap = h.snapshot();
+    EXPECT_TRUE(snap.empty());
+    EXPECT_EQ(snap.count, 0u);
+    EXPECT_EQ(snap.min, 0u);
+    EXPECT_EQ(snap.max, 0u);
+    EXPECT_EQ(snap.percentile(0.99), 0u);
+    EXPECT_EQ(snap.mean(), 0.0);
+}
+
+TEST(LatencyHistogram, HugeValuesClampIntoTopBucket)
+{
+    LatencyHistogram h(1);
+    h.record(UINT64_MAX);
+    h.record(uint64_t{1} << 60);
+    auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, 2u);
+    // max keeps the exact value even though the bucket clamps.
+    EXPECT_EQ(snap.max, UINT64_MAX);
+    // Percentiles saturate at the top of the tracked range (~2^42 ns
+    // = ~73 min — anything above is "off the scale", not a latency).
+    EXPECT_GE(snap.percentile(1.0), uint64_t{1} << 42);
+    EXPECT_LE(snap.percentile(1.0), snap.max);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordsAreAllCounted)
+{
+    constexpr unsigned kThreads = 8;
+    constexpr unsigned kPerThread = 20000;
+    LatencyHistogram h; // auto shards
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (unsigned t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h, t] {
+            std::mt19937_64 rng(1000 + t);
+            for (unsigned i = 0; i < kPerThread; ++i)
+                h.record(1 + rng() % 1'000'000);
+        });
+    }
+    for (auto &th : threads)
+        th.join();
+    auto snap = h.snapshot();
+    EXPECT_EQ(snap.count, uint64_t{kThreads} * kPerThread);
+    EXPECT_GE(snap.min, 1u);
+    EXPECT_LE(snap.max, 1'000'000u);
+    uint64_t bucketTotal = 0;
+    for (uint64_t c : snap.counts)
+        bucketTotal += c;
+    EXPECT_EQ(bucketTotal, snap.count);
+}
+
+TEST(LatencyHistogram, SnapshotWhileRecordingIsConsistent)
+{
+    LatencyHistogram h;
+    std::atomic<bool> stop{false};
+    std::thread writer([&] {
+        uint64_t v = 1;
+        while (!stop.load(std::memory_order_relaxed))
+            h.record(1 + (v++ % 4096));
+    });
+    for (int i = 0; i < 200; ++i) {
+        auto snap = h.snapshot();
+        uint64_t bucketTotal = 0;
+        for (uint64_t c : snap.counts)
+            bucketTotal += c;
+        EXPECT_EQ(bucketTotal, snap.count);
+    }
+    stop.store(true, std::memory_order_relaxed);
+    writer.join();
+}
+
+TEST(HistogramSnapshot, MergeSumsBucketsAndFoldsExtremes)
+{
+    LatencyHistogram a(1);
+    LatencyHistogram b(1);
+    std::vector<uint64_t> all;
+    std::mt19937_64 rng(99);
+    for (int i = 0; i < 3000; ++i) {
+        const uint64_t v = 10 + rng() % 500'000;
+        all.push_back(v);
+        (i % 2 ? a : b).record(v);
+    }
+    LatencyHistogram combined(1);
+    for (uint64_t v : all)
+        combined.record(v);
+
+    auto merged = a.snapshot();
+    merged.merge(b.snapshot());
+    auto expect = combined.snapshot();
+
+    EXPECT_EQ(merged.count, expect.count);
+    EXPECT_EQ(merged.min, expect.min);
+    EXPECT_EQ(merged.max, expect.max);
+    EXPECT_EQ(merged.sum, expect.sum);
+    ASSERT_EQ(merged.counts.size(), expect.counts.size());
+    EXPECT_EQ(merged.counts, expect.counts);
+    for (double q : {0.5, 0.9, 0.99})
+        EXPECT_EQ(merged.percentile(q), expect.percentile(q));
+}
+
+TEST(HistogramSnapshot, MergeWithEmptyIsIdentity)
+{
+    LatencyHistogram a(1);
+    a.record(100);
+    a.record(300);
+    auto snap = a.snapshot();
+    HistogramSnapshot empty;
+    auto merged = snap;
+    merged.merge(empty);
+    EXPECT_EQ(merged.count, snap.count);
+    EXPECT_EQ(merged.min, snap.min);
+    EXPECT_EQ(merged.max, snap.max);
+
+    HistogramSnapshot fromEmpty;
+    fromEmpty.merge(snap);
+    EXPECT_EQ(fromEmpty.count, snap.count);
+    EXPECT_EQ(fromEmpty.min, snap.min);
+    EXPECT_EQ(fromEmpty.max, snap.max);
+    EXPECT_EQ(fromEmpty.counts, snap.counts);
+}
