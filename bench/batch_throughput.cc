@@ -61,18 +61,29 @@ makeBatch(Rng &rng, unsigned count)
     return msgs;
 }
 
-/** Sequential scalar reference loop: one thread, no queue. */
-double
-scalarWallUs(const SphincsPlus &scheme, const sphincs::SecretKey &sk,
-             const std::vector<ByteVec> &msgs)
+/**
+ * Sequential scalar reference: one thread, no queue, duration-bounded
+ * through the shared bench/tuner measurement helper (tune::measureFor)
+ * but never fewer signatures than the batch the worker rows sign.
+ */
+MeasureResult
+scalarSignRun(const SphincsPlus &scheme, const sphincs::SecretKey &sk,
+              const std::vector<ByteVec> &msgs)
 {
-    const double t0 = nowUs();
-    for (const ByteVec &m : msgs) {
-        ByteVec sig = scheme.sign(m, sk);
+    size_t i = 0;
+    const auto sign_one = [&] {
+        ByteVec sig = scheme.sign(msgs[i++ % msgs.size()], sk);
         if (sig.size() != scheme.params().sigBytes())
             std::abort(); // keep the signing work observable
+    };
+    MeasureResult r = measureFor(0.20, /*warmup_iters=*/0, sign_one);
+    while (r.iters < msgs.size()) {
+        const double t0 = nowUs();
+        sign_one();
+        r.wallUs += nowUs() - t0;
+        ++r.iters;
     }
-    return nowUs() - t0;
+    return r;
 }
 
 } // namespace
@@ -122,24 +133,24 @@ main(int argc, char **argv)
         // single-thread xN row isolates the SIMD backend speedup and
         // the worker rows show threading on top.
         sha256LanesForceScalar(true);
-        const double ref_us = scalarWallUs(scheme, kp.sk, msgs);
+        const MeasureResult ref = scalarSignRun(scheme, kp.sk, msgs);
         sha256LanesForceScalar(false);
-        const double ref_rate = msgs.size() * 1e6 / ref_us;
+        const double ref_rate = ref.opsPerSec();
         table.addRow({p.name, "scalar lanes (SIMD off)",
-                      std::to_string(msgs.size()),
-                      fmtF(ref_us / 1000.0), fmtF(ref_rate, 1),
+                      std::to_string(ref.iters),
+                      fmtF(ref.wallUs / 1000.0), fmtF(ref_rate, 1),
                       fmtX(1.0), "0", fmtF(predicted_ms)});
 
         // Honest labeling: without an active SIMD backend this row
         // measures the same portable lanes as the reference.
-        const double xn_us = scalarWallUs(scheme, kp.sk, msgs);
-        const double xn_rate = msgs.size() * 1e6 / xn_us;
+        const MeasureResult xn = scalarSignRun(scheme, kp.sk, msgs);
+        const double xn_rate = xn.opsPerSec();
         const char *xn_label =
             sha256LanesAvx512Active()  ? "single thread, x16 AVX-512"
             : sha256LanesAvx2Active() ? "single thread, x8 AVX2"
                                       : "single thread (no SIMD)";
-        table.addRow({p.name, xn_label, std::to_string(msgs.size()),
-                      fmtF(xn_us / 1000.0), fmtF(xn_rate, 1),
+        table.addRow({p.name, xn_label, std::to_string(xn.iters),
+                      fmtF(xn.wallUs / 1000.0), fmtF(xn_rate, 1),
                       fmtX(xn_rate / ref_rate), "0",
                       fmtF(predicted_ms)});
 

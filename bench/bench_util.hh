@@ -22,9 +22,20 @@
 #include "common/table.hh"
 #include "core/engine.hh"
 #include "telemetry/histogram.hh"
+#include "tune/measure.hh"
+#include "tune/profile.hh"
 
 namespace herosign::bench
 {
+
+/**
+ * The shared duration-bounded measurement loop: run @p fn repeatedly
+ * for ~seconds after a warmup, returning iterations and wall time.
+ * This is the same helper the autotuner's TrialRunner times trials
+ * with, so bench rows and tuning trials share one timing definition.
+ */
+using tune::measureFor;
+using tune::MeasureResult;
 
 /**
  * q-quantile (0..1) of @p lat_us, in milliseconds — computed through
@@ -136,6 +147,27 @@ emitJson(const std::string &path, const std::string &title,
     // future multi-file bench) cannot cross-contaminate.
     static std::map<std::string, std::vector<std::string>> rendered_by;
     std::vector<std::string> &rendered = rendered_by[path];
+
+    // First table into a file: lead with the host fingerprint, so
+    // trend comparisons can tell a regression from a host change
+    // (scripts/bench_trend.py warns instead of failing across
+    // differing fingerprints). profile_hash records the autotuner
+    // profile applied to this process, "" when untuned.
+    if (rendered.empty()) {
+        const auto fp = tune::HostFingerprint::current("");
+        std::string meta;
+        meta.append("  {\n    \"title\": \"__meta__\",\n"
+                    "    \"fingerprint\": {\"cpu\": \"");
+        meta.append(jsonEscape(fp.cpuModel));
+        meta.append("\", \"cores\": ");
+        meta.append(std::to_string(fp.cores));
+        meta.append(", \"dispatch\": \"");
+        meta.append(jsonEscape(fp.dispatch));
+        meta.append("\", \"profile_hash\": \"");
+        meta.append(jsonEscape(tune::activeProfileHash()));
+        meta.append("\"}\n  }");
+        rendered.push_back(std::move(meta));
+    }
 
     // Built with append() chains: GCC 12 raises a -Wrestrict false
     // positive on nested operator+ of temporaries here.

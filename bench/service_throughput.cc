@@ -73,26 +73,34 @@ makeBatch(Rng &rng, unsigned count)
     return msgs;
 }
 
-/** Scalar per-signature verification loop. */
-double
-scalarVerifyUs(const SphincsPlus &scheme, const sphincs::PublicKey &pk,
-               const std::vector<ByteVec> &msgs,
-               const std::vector<ByteVec> &sigs)
+/**
+ * Scalar per-signature verification, duration-bounded through the
+ * shared bench/tuner measurement helper (tune::measureFor). One
+ * iteration verifies one signature.
+ */
+MeasureResult
+scalarVerifyRun(const SphincsPlus &scheme, const sphincs::PublicKey &pk,
+                const std::vector<ByteVec> &msgs,
+                const std::vector<ByteVec> &sigs)
 {
-    const double t0 = nowUs();
-    for (size_t i = 0; i < msgs.size(); ++i) {
-        if (!scheme.verify(msgs[i], sigs[i], pk))
+    size_t i = 0;
+    return measureFor(0.20, /*warmup_iters=*/1, [&] {
+        const size_t k = i++ % msgs.size();
+        if (!scheme.verify(msgs[k], sigs[k], pk))
             std::abort(); // all inputs are valid by construction
-    }
-    return nowUs() - t0;
+    });
 }
 
-/** Batched lane-parallel verification with a warm context. */
-double
-batchVerifyUs(const SphincsPlus &scheme, const Context &ctx,
-              const sphincs::PublicKey &pk,
-              const std::vector<ByteVec> &msgs,
-              const std::vector<ByteVec> &sigs)
+/**
+ * Batched lane-parallel verification with a warm context, duration
+ * bounded like the scalar reference. One iteration verifies the whole
+ * batch (the unit the lane scheduler fills lanes across).
+ */
+MeasureResult
+batchVerifyRun(const SphincsPlus &scheme, const Context &ctx,
+               const sphincs::PublicKey &pk,
+               const std::vector<ByteVec> &msgs,
+               const std::vector<ByteVec> &sigs)
 {
     std::vector<ByteSpan> m(msgs.size());
     std::vector<ByteSpan> s(sigs.size());
@@ -100,13 +108,12 @@ batchVerifyUs(const SphincsPlus &scheme, const Context &ctx,
         m[i] = ByteSpan(msgs[i]);
         s[i] = ByteSpan(sigs[i]);
     }
-    const double t0 = nowUs();
-    auto ok = scheme.verifyBatch(ctx, m, s, pk);
-    const double us = nowUs() - t0;
-    for (size_t i = 0; i < msgs.size(); ++i)
-        if (!ok[i])
-            std::abort();
-    return us;
+    return measureFor(0.20, /*warmup_iters=*/1, [&] {
+        auto ok = scheme.verifyBatch(ctx, m, s, pk);
+        for (size_t i = 0; i < ok.size(); ++i)
+            if (!ok[i])
+                std::abort();
+    });
 }
 
 /** Add one row per plane with throughput and latency percentiles. */
@@ -179,31 +186,35 @@ main(int argc, char **argv)
         // Reference: scalar loop with the lane engine forced onto
         // scalar lanes (the pre-batching verify path).
         sha256LanesForceScalar(true);
-        const double ref_us = scalarVerifyUs(scheme, kp.pk, msgs, sigs);
+        const MeasureResult ref =
+            scalarVerifyRun(scheme, kp.pk, msgs, sigs);
         sha256LanesForceScalar(false);
-        const double ref_rate = msgs.size() * 1e6 / ref_us;
+        const double ref_rate = ref.opsPerSec();
         vt.addRow({p.name, "scalar verify (SIMD off)",
-                   std::to_string(msgs.size()), fmtF(ref_us / 1000.0),
+                   std::to_string(ref.iters), fmtF(ref.wallUs / 1000.0),
                    fmtF(ref_rate, 1), fmtX(1.0)});
 
         const bool simd = sha256LanesAvx2Active() ||
                           sha256LanesAvx512Active();
-        const double sc_us = scalarVerifyUs(scheme, kp.pk, msgs, sigs);
-        const double sc_rate = msgs.size() * 1e6 / sc_us;
+        const MeasureResult sc =
+            scalarVerifyRun(scheme, kp.pk, msgs, sigs);
+        const double sc_rate = sc.opsPerSec();
         vt.addRow({p.name,
                    simd ? "scalar verify" : "scalar verify (no SIMD)",
-                   std::to_string(msgs.size()), fmtF(sc_us / 1000.0),
+                   std::to_string(sc.iters), fmtF(sc.wallUs / 1000.0),
                    fmtF(sc_rate, 1), fmtX(sc_rate / ref_rate)});
 
-        const double bx_us =
-            batchVerifyUs(scheme, ctx, kp.pk, msgs, sigs);
-        const double bx_rate = msgs.size() * 1e6 / bx_us;
+        const MeasureResult bx =
+            batchVerifyRun(scheme, ctx, kp.pk, msgs, sigs);
+        const uint64_t bx_sigs = bx.iters * msgs.size();
+        const double bx_rate =
+            bx.wallUs > 0 ? bx_sigs * 1e6 / bx.wallUs : 0.0;
         const char *bx_label =
             sha256LanesAvx512Active()  ? "verifyBatch x16 AVX-512"
             : sha256LanesAvx2Active() ? "verifyBatch x8 AVX2"
                                       : "verifyBatch (no SIMD)";
-        vt.addRow({p.name, bx_label, std::to_string(msgs.size()),
-                   fmtF(bx_us / 1000.0), fmtF(bx_rate, 1),
+        vt.addRow({p.name, bx_label, std::to_string(bx_sigs),
+                   fmtF(bx.wallUs / 1000.0), fmtF(bx_rate, 1),
                    fmtX(bx_rate / ref_rate)});
     }
     emit(opt, "Batched verification throughput (single thread)", vt,

@@ -49,6 +49,39 @@ THROUGHPUT_RE = re.compile(r"KOPS|sigs/s|sig/s|/sec|speedup|rate|ops",
 # is exactly what the stage-timing telemetry exists to catch.
 LATENCY_RE = re.compile(r"p99\s*ms", re.IGNORECASE)
 
+# The pseudo-table bench_util.hh's emitJson prepends to every
+# snapshot: the recording host's fingerprint. Never compared as a
+# table; used to decide whether two snapshots are comparable at all.
+META_TITLE = "__meta__"
+
+# Fingerprint fields that make measurements host-specific. The
+# profile_hash (which autotuner profile was applied) is reported but
+# not part of comparability: a tuning change on the same host is a
+# legitimate, gateable perf change.
+HOST_FP_FIELDS = ("cpu", "cores", "dispatch")
+
+
+def split_meta(doc):
+    """Strip the __meta__ entry: (fingerprint_or_None, tables)."""
+    fp = None
+    tables = []
+    for table in doc:
+        if table.get("title") == META_TITLE:
+            fp = table.get("fingerprint") or {}
+        else:
+            tables.append(table)
+    return fp, tables
+
+
+def fingerprint_mismatch(a, b):
+    """Human-readable list of differing host-fingerprint fields."""
+    diffs = []
+    for field in HOST_FP_FIELDS:
+        if a.get(field) != b.get(field):
+            diffs.append(f"{field}: {a.get(field)!r} -> "
+                         f"{b.get(field)!r}")
+    return diffs
+
 
 def parse_number(cell):
     """Float value of a table cell, or None when not numeric."""
@@ -69,6 +102,7 @@ def load_snapshot(path):
         raise SystemExit(f"bench_trend: cannot read {path}: {e}")
     if not isinstance(doc, list):
         raise SystemExit(f"bench_trend: {path}: expected a JSON array")
+    fp, doc = split_meta(doc)
     tables = {}
     for table in doc:
         title = table.get("title", "")
@@ -79,7 +113,7 @@ def load_snapshot(path):
             label = row.get(label_col, "") if label_col else ""
             rows[label] = row
         tables[title] = {"headers": headers, "rows": rows}
-    return tables
+    return fp, tables
 
 
 def compare(baseline, current, threshold):
@@ -166,11 +200,37 @@ def pick_snapshots(directory, bench):
 
 
 def run_diff(baseline_path, current_path, threshold):
-    baseline = load_snapshot(baseline_path)
-    current = load_snapshot(current_path)
+    base_fp, baseline = load_snapshot(baseline_path)
+    cur_fp, current = load_snapshot(current_path)
     regressions, notes = compare(baseline, current, threshold)
+
+    # Snapshots from different hosts (or SIMD tiers) are not
+    # comparable: a "regression" there is a machine change, not a code
+    # change — warn instead of failing. Gate normally when either
+    # snapshot predates fingerprints (the conservative default).
+    demote = None
+    if base_fp is not None and cur_fp is not None:
+        diffs = fingerprint_mismatch(base_fp, cur_fp)
+        if diffs:
+            demote = "differing host fingerprints (" + \
+                "; ".join(diffs) + ")"
+        elif (base_fp.get("profile_hash") or "") != \
+                (cur_fp.get("profile_hash") or ""):
+            notes.append(
+                f"autotune profile changed between snapshots "
+                f"({base_fp.get('profile_hash')!r} -> "
+                f"{cur_fp.get('profile_hash')!r}); same host, so "
+                f"still gated")
+
     for n in notes:
         print(f"note: {n}")
+    if regressions and demote:
+        print(f"bench_trend: WARNING: {demote}; "
+              f"{len(regressions)} would-be regression(s) reported "
+              f"as warnings ({baseline_path} -> {current_path}):")
+        for r in regressions:
+            print(f"  warning: {r}")
+        return 0
     if regressions:
         print(f"bench_trend: {len(regressions)} regression(s) over "
               f"{threshold * 100:.0f}% "
@@ -178,6 +238,8 @@ def run_diff(baseline_path, current_path, threshold):
         for r in regressions:
             print(f"  REGRESSION {r}")
         return 1
+    if demote:
+        print(f"bench_trend: note: {demote}")
     print(f"bench_trend: no throughput regression over "
           f"{threshold * 100:.0f}% ({baseline_path} -> {current_path})")
     return 0
@@ -332,6 +394,26 @@ def self_test():
     check("speedup cell parses", parse_number("1.41x") == 1.41)
     check("text cell skipped", parse_number("n/a") is None)
 
+    # --- Host-fingerprint handling (__meta__ pseudo-table) ---
+    fp_a = {"title": META_TITLE,
+            "fingerprint": {"cpu": "Xeon 2.10GHz", "cores": 1,
+                            "dispatch": "avx512", "profile_hash": ""}}
+    fp_b = {"title": META_TITLE,
+            "fingerprint": {"cpu": "EPYC 3.00GHz", "cores": 64,
+                            "dispatch": "avx2", "profile_hash": ""}}
+
+    # The __meta__ entry is stripped, never diffed as a table.
+    cur = [copy.deepcopy(fp_a)] + copy.deepcopy(base)
+    regs, notes = compare(load_obj(base), load_obj(cur), 0.10)
+    check("__meta__ entry ignored in table diff",
+          regs == [] and notes == [])
+    check("fingerprint fields compared",
+          fingerprint_mismatch(fp_a["fingerprint"],
+                               fp_b["fingerprint"]) != [] and
+          fingerprint_mismatch(fp_a["fingerprint"],
+                               dict(fp_a["fingerprint"],
+                                    profile_hash="deadbeef")) == [])
+
     # End-to-end through real files and the CLI path.
     with tempfile.TemporaryDirectory() as td:
         a = Path(td) / "0001-t.json"
@@ -345,6 +427,32 @@ def self_test():
         check("snapshot-dir picks two newest",
               pick_snapshots(td, "t") == [a, b])
 
+        # Same host fingerprint on both sides: still gated.
+        a.write_text(json.dumps([fp_a] + base))
+        b.write_text(json.dumps([copy.deepcopy(fp_a)] + worse))
+        check("regression across same fingerprint still fails",
+              run_diff(str(a), str(b), 0.10) == 1)
+
+        # Differing host fingerprints: the regression is demoted to a
+        # warning (a machine change is not a code regression).
+        b.write_text(json.dumps([fp_b] + worse))
+        check("regression across differing fingerprints warns only",
+              run_diff(str(a), str(b), 0.10) == 0)
+
+        # One-sided fingerprint (old snapshot predates them): the
+        # conservative default is to gate normally.
+        a.write_text(json.dumps(base))
+        check("regression with one-sided fingerprint still fails",
+              run_diff(str(a), str(b), 0.10) == 1)
+
+        # Profile-hash-only change on the same host: gated, noted.
+        a.write_text(json.dumps([fp_a] + base))
+        tuned_fp = copy.deepcopy(fp_a)
+        tuned_fp["fingerprint"]["profile_hash"] = "deadbeef"
+        b.write_text(json.dumps([tuned_fp] + worse))
+        check("profile change on same host still gates",
+              run_diff(str(a), str(b), 0.10) == 1)
+
     if failures:
         print(f"bench_trend --self-test: {len(failures)} failure(s)")
         return 1
@@ -353,7 +461,9 @@ def self_test():
 
 
 def load_obj(doc):
-    """load_snapshot for an in-memory document (self-test helper)."""
+    """load_snapshot for an in-memory document (self-test helper),
+    returning tables only (any __meta__ entry stripped)."""
+    _, doc = split_meta(doc)
     tables = {}
     for table in doc:
         headers = table.get("headers", [])

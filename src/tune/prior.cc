@@ -1,0 +1,126 @@
+#include "tune/prior.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <thread>
+
+#include "sphincs/thashx.hh"
+
+namespace herosign::tune
+{
+
+namespace
+{
+
+unsigned resolveThreads(unsigned hw)
+{
+    if (hw != 0)
+        return hw;
+    const unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : n;
+}
+
+unsigned resolveLanes(unsigned w)
+{
+    if (w != 0)
+        return w;
+    const unsigned n = sphincs::hashLaneWidth();
+    return n == 0 ? 1 : n;
+}
+
+/// Fraction of SIMD lanes a coalescing window of @p c fills when the
+/// dispatched width is @p width. 0 means "auto", which the services
+/// resolve to a full window.
+double laneFill(unsigned c, unsigned width)
+{
+    if (c == 0)
+        return 1.0;
+    return static_cast<double>(std::min(c, width)) / width;
+}
+
+/// How far @p shards strays from @p workers, in doublings. Matching
+/// counts give every consumer a home shard; far fewer shards funnel
+/// producers through shared locks, far more send consumers on long
+/// work-stealing scans.
+double shardMismatch(unsigned workers, unsigned shards)
+{
+    const double w = std::max(1u, workers);
+    const double s = std::max(1u, shards);
+    return std::fabs(std::log2(s / w));
+}
+
+} // namespace
+
+double priorScore(const KnobConfig &cfg, const PriorModel &model)
+{
+    const unsigned hw = resolveThreads(model.hwThreads);
+    const unsigned width = resolveLanes(model.laneWidth);
+    const unsigned tenants = std::max(1u, model.tenants);
+    const double signShare = std::clamp(model.signShare, 0.0, 1.0);
+
+    // Thread-utilization analogue: lane fill on both planes. The
+    // verify plane groups per tenant, so its effective window is the
+    // per-tenant share of the coalescing budget (0 = auto = 4*width,
+    // always full).
+    const double signFill = laneFill(cfg.signCoalesce, width);
+    const double verifyWindow =
+        cfg.verifyCoalesce == 0
+            ? width
+            : std::max(1u, cfg.verifyCoalesce / tenants);
+    const double verifyFill =
+        std::min<double>(verifyWindow, width) / width;
+    double score = signShare * signFill + (1.0 - signShare) * verifyFill;
+
+    // Sync-point analogue #1: oversubscription. Worker threads past
+    // the physical cores buy context switches, not overlap. One extra
+    // thread is nearly free (producers block a lot); the penalty grows
+    // linearly after that.
+    const unsigned threads = cfg.signWorkers + cfg.verifyWorkers;
+    if (threads > hw + 1)
+        score -= 0.04 * (threads - hw - 1);
+    // Undersubscription wastes cores outright.
+    if (threads < hw)
+        score -= 0.06 * (hw - threads);
+
+    // Sync-point analogue #2: shard/worker mismatch on both queues.
+    score -= 0.03 * shardMismatch(cfg.signWorkers, cfg.signShards);
+    score -= 0.03 * shardMismatch(cfg.verifyWorkers, cfg.verifyShards);
+
+    // Residency analogue: a cache below the tenant working set
+    // rebuilds per-key contexts on the hot path; beyond it, capacity
+    // is free but worthless.
+    if (cfg.cacheCapacity < tenants)
+        score -= 0.10 * (tenants - cfg.cacheCapacity);
+
+    return score;
+}
+
+KnobSpace::Point priorBestPoint(const KnobSpace &space,
+                                const PriorModel &model)
+{
+    KnobSpace::Point pt(space.dims(), 0);
+    KnobSpace::Point best = pt;
+    double best_score = priorScore(space.configAt(pt), model);
+
+    // Odometer enumeration of the full space (a few thousand points;
+    // priorScore is arithmetic only). First-wins on ties keeps the
+    // result deterministic across runs and platforms.
+    while (true) {
+        size_t d = 0;
+        for (; d < space.dims(); ++d) {
+            if (++pt[d] < space.knobs()[d].values.size())
+                break;
+            pt[d] = 0;
+        }
+        if (d == space.dims())
+            break;
+        const double s = priorScore(space.configAt(pt), model);
+        if (s > best_score) {
+            best_score = s;
+            best = pt;
+        }
+    }
+    return best;
+}
+
+} // namespace herosign::tune

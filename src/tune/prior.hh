@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Cheap analytic prior over the knob space — the warm start of the
+ * measured search.
+ *
+ * The gpusim cost model ranks Tree Tuning candidates by (sync points
+ * asc, thread utilization desc, smem utilization desc). Translated
+ * to the CPU serving stack the same three pressures become:
+ *
+ *  * sync points      -> scheduling friction: worker threads beyond
+ *                        the physical cores context-switch instead
+ *                        of overlapping, and shard counts far from
+ *                        the worker count either funnel producers
+ *                        through too few locks or send consumers on
+ *                        long work-stealing scans.
+ *  * thread util      -> lane fill: a coalescing window below the
+ *                        dispatched hashLaneWidth() leaves SIMD
+ *                        lanes empty exactly like idle warp slots.
+ *  * smem util        -> warm-state residency: a context cache
+ *                        smaller than the tenant working set rebuilds
+ *                        seeds on the hot path, the CPU analogue of
+ *                        spilling shared memory.
+ *
+ * The prior never replaces measurement — it only ranks candidates so
+ * the annealing walk starts from a sensible region instead of the
+ * hand-set defaults.
+ */
+
+#ifndef HEROSIGN_TUNE_PRIOR_HH
+#define HEROSIGN_TUNE_PRIOR_HH
+
+#include "tune/knob_space.hh"
+
+namespace herosign::tune
+{
+
+/** Workload/host facts the prior scores against. */
+struct PriorModel
+{
+    unsigned hwThreads = 0; ///< 0 = hardware_concurrency()
+    unsigned laneWidth = 0; ///< 0 = hashLaneWidth()
+    unsigned tenants = 4;   ///< expected warm working set
+    /// Fraction of traffic on the sign plane (the rest verifies);
+    /// weighs the two lane-fill terms.
+    double signShare = 0.5;
+};
+
+/**
+ * Unitless desirability of @p cfg under @p model; higher is better.
+ * Deterministic, no measurement.
+ */
+double priorScore(const KnobConfig &cfg, const PriorModel &model = {});
+
+/**
+ * The highest-scoring point of @p space (ties resolve to the first
+ * in enumeration order, so the result is deterministic).
+ */
+KnobSpace::Point priorBestPoint(const KnobSpace &space,
+                                const PriorModel &model = {});
+
+} // namespace herosign::tune
+
+#endif // HEROSIGN_TUNE_PRIOR_HH

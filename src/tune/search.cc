@@ -1,0 +1,168 @@
+#include "tune/search.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/random.hh"
+
+namespace herosign::tune
+{
+
+namespace
+{
+
+/** Uniform double in [0, 1) from the repo Rng (53 mantissa bits). */
+double uniform01(Rng &rng)
+{
+    return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+struct CachedScore
+{
+    double score = 0;
+    TrialMeasurement measurement;
+};
+
+/** The measurement the median probe produced (by ops/s). */
+const TrialMeasurement &
+medianMeasurement(std::vector<TrialMeasurement> &probes)
+{
+    std::sort(probes.begin(), probes.end(),
+              [](const TrialMeasurement &a, const TrialMeasurement &b) {
+                  return a.opsPerSec < b.opsPerSec;
+              });
+    return probes[probes.size() / 2];
+}
+
+} // namespace
+
+SearchResult search(const KnobSpace &space, TrialRunner &runner,
+                    const SearchOptions &opts)
+{
+    const unsigned median_of = std::max(1u, opts.medianOf);
+    unsigned planned = opts.maxTrials;
+    if (planned == 0) {
+        // Size the plan to the budget assuming a full median-of-K per
+        // candidate; pruning and cache hits only make it cheaper. The
+        // plan is fixed here, before any trial runs — the walk never
+        // consults a clock.
+        const double per_candidate =
+            std::max(1e-3, opts.trialSecondsHint) * median_of;
+        planned = static_cast<unsigned>(
+            std::max(4.0, opts.budgetSeconds / per_candidate));
+    }
+
+    Rng rng(opts.seed);
+    SearchResult result;
+    result.trialsPlanned = planned;
+
+    std::map<KnobSpace::Point, CachedScore> cache;
+    double best_score = -1;
+
+    // Evaluate one point: median-of-K with the first-probe prune,
+    // cached by point so revisits are free.
+    const auto evaluate = [&](const KnobSpace::Point &pt,
+                              bool allow_prune) -> CachedScore {
+        if (auto it = cache.find(pt); it != cache.end())
+            return it->second;
+        const KnobConfig cfg = space.configAt(pt);
+        std::vector<TrialMeasurement> probes;
+        probes.push_back(runner.measure(cfg));
+        ++result.measurements;
+        const bool prune =
+            allow_prune && best_score > 0 &&
+            probes[0].opsPerSec < opts.pruneRatio * best_score;
+        if (!prune) {
+            for (unsigned k = 1; k < median_of; ++k) {
+                probes.push_back(runner.measure(cfg));
+                ++result.measurements;
+            }
+        }
+        CachedScore cs;
+        cs.measurement = medianMeasurement(probes);
+        cs.score = cs.measurement.opsPerSec;
+
+        TrialRecord rec;
+        rec.index = static_cast<unsigned>(result.trajectory.size());
+        rec.config = cfg;
+        rec.measurement = cs.measurement;
+        rec.score = cs.score;
+        rec.probes = static_cast<unsigned>(probes.size());
+        rec.pruned = prune;
+        result.trajectory.push_back(rec);
+
+        cache.emplace(pt, cs);
+        return cs;
+    };
+
+    // Trial 0 is always the hand-set default config, measured in
+    // full: the baseline is part of every trajectory, and the chosen
+    // best can never score below the measured default.
+    const KnobSpace::Point def = space.defaultPoint();
+    const CachedScore def_cs = evaluate(def, /*allow_prune=*/false);
+    best_score = def_cs.score;
+    result.bestConfig = space.configAt(def);
+    result.bestMeasurement = def_cs.measurement;
+    result.bestScore = best_score;
+    result.trajectory.back().improvedBest = true;
+
+    // Warm start: the analytic prior's pick, measured in full.
+    KnobSpace::Point cur = priorBestPoint(space, opts.prior);
+    CachedScore cur_cs = evaluate(cur, /*allow_prune=*/false);
+    double cur_score = cur_cs.score;
+    result.trajectory.back().accepted = true;
+    if (cur_score > best_score) {
+        best_score = cur_score;
+        result.bestConfig = space.configAt(cur);
+        result.bestMeasurement = cur_cs.measurement;
+        result.bestScore = best_score;
+        result.trajectory.back().improvedBest = true;
+    }
+
+    // Annealed walk. `planned` counts *measured* candidates; cache
+    // hits don't consume the plan, so cap total proposals at a small
+    // multiple to stay bounded when the walk circles a known region.
+    const double t0 = std::max(1e-6, opts.initialTemp);
+    const double t1 =
+        std::clamp(opts.finalTemp, 1e-6, opts.initialTemp);
+    unsigned measured =
+        static_cast<unsigned>(result.trajectory.size());
+    const unsigned max_proposals = planned * 4 + 16;
+    for (unsigned prop = 0;
+         measured < planned && prop < max_proposals; ++prop) {
+        const double frac =
+            planned > 1
+                ? static_cast<double>(measured) / (planned - 1)
+                : 1.0;
+        const double temp = t0 * std::pow(t1 / t0, frac);
+
+        const KnobSpace::Point cand = space.neighbor(cur, rng);
+        const bool fresh = cache.find(cand) == cache.end();
+        const CachedScore cand_cs = evaluate(cand, true);
+        if (fresh)
+            ++measured;
+
+        const double rel =
+            (cand_cs.score - cur_score) / std::max(1e-9, cur_score);
+        const bool accept =
+            rel >= 0 || uniform01(rng) < std::exp(rel / temp);
+        if (fresh)
+            result.trajectory.back().accepted = accept;
+        if (accept) {
+            cur = cand;
+            cur_score = cand_cs.score;
+        }
+        if (cand_cs.score > best_score) {
+            best_score = cand_cs.score;
+            result.bestConfig = space.configAt(cand);
+            result.bestMeasurement = cand_cs.measurement;
+            result.bestScore = best_score;
+            if (fresh)
+                result.trajectory.back().improvedBest = true;
+        }
+    }
+    return result;
+}
+
+} // namespace herosign::tune

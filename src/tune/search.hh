@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The measured knob search: simulated annealing over a KnobSpace,
+ * seeded by the analytic prior, scored by a TrialRunner.
+ *
+ * The search mirrors the AKG-style tuning loop (configuration space +
+ * cost-model warm start + annealed random walk over measured trials),
+ * adapted to serving throughput: the score of a candidate is the
+ * median closed-loop ops/s of K short trials, with an early prune —
+ * a first probe far below the incumbent best skips the remaining
+ * probes, so hopeless corners of the space cost one trial, not K.
+ *
+ * Everything random comes from the repo Rng seeded by
+ * SearchOptions::seed, and the trial plan is fixed up front from the
+ * budget — no wall-clock reads steer the walk. Same seed + same
+ * measurements therefore reproduce the same trajectory and the same
+ * chosen config, which is what the determinism unit test asserts
+ * against a recorded trial log.
+ */
+
+#ifndef HEROSIGN_TUNE_SEARCH_HH
+#define HEROSIGN_TUNE_SEARCH_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "tune/knob_space.hh"
+#include "tune/prior.hh"
+#include "tune/trial_runner.hh"
+
+namespace herosign::tune
+{
+
+/** Knobs of the search itself. */
+struct SearchOptions
+{
+    uint64_t seed = 1; ///< drives every random choice the walk makes
+    /// Candidate configs to measure. 0 = derive from budgetSeconds
+    /// and trialSecondsHint.
+    unsigned maxTrials = 0;
+    /// Wall-time budget the plan is sized for (only consulted when
+    /// maxTrials == 0; the plan is fixed before the first trial).
+    double budgetSeconds = 30.0;
+    /// Trials per candidate; the score is their median ops/s.
+    unsigned medianOf = 3;
+    /// First-probe prune: when one probe lands below this fraction of
+    /// the incumbent best, skip the candidate's remaining probes.
+    double pruneRatio = 0.7;
+    double initialTemp = 0.20; ///< relative-delta acceptance scale
+    double finalTemp = 0.02;   ///< cooled-to scale at the last step
+    /// Expected seconds one trial costs; sizes the plan under a
+    /// budget. Keep equal to the runner's FabricWorkload::trialSeconds.
+    double trialSecondsHint = 0.25;
+    /// Workload facts for the analytic warm start.
+    PriorModel prior;
+};
+
+/** One evaluated candidate in the search trajectory. */
+struct TrialRecord
+{
+    unsigned index = 0;  ///< evaluation order (0 = the warm start)
+    KnobConfig config;
+    TrialMeasurement measurement; ///< the median probe
+    double score = 0;    ///< median ops/s across the probes
+    unsigned probes = 0; ///< trials actually spent (1 when pruned)
+    bool pruned = false; ///< first probe fell below the prune bar
+    bool accepted = false; ///< the walk moved here
+    bool improvedBest = false;
+};
+
+/** What the search found. */
+struct SearchResult
+{
+    KnobConfig bestConfig;
+    TrialMeasurement bestMeasurement;
+    double bestScore = 0;
+    std::vector<TrialRecord> trajectory;
+    unsigned trialsPlanned = 0;  ///< candidate evaluations planned
+    unsigned measurements = 0;   ///< runner.measure() calls made
+};
+
+/**
+ * Anneal over @p space scoring candidates with @p runner. The walk
+ * starts at the analytic prior's best point, proposes
+ * KnobSpace::neighbor moves, and Metropolis-accepts on the relative
+ * score delta under a geometrically cooled temperature. Already-seen
+ * points re-use their cached score without burning budget.
+ */
+SearchResult search(const KnobSpace &space, TrialRunner &runner,
+                    const SearchOptions &opts = {});
+
+} // namespace herosign::tune
+
+#endif // HEROSIGN_TUNE_SEARCH_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Short bounded measurement trials — the autotuner's cost oracle.
+ *
+ * A TrialRunner turns one KnobConfig into one TrialMeasurement by
+ * actually running the workload for a small duration budget. The
+ * production oracle is FabricTrialRunner: it stands up a fresh
+ * SignService/VerifyService pair from the candidate config and drives
+ * the same closed-loop mixed sign+verify traffic the
+ * service_throughput bench reports, reusing the shared
+ * bench-measurement helper (tune::measureFor) for the duration bound
+ * and the telemetry LatencyHistogram for tail percentiles. The
+ * abstract interface exists so search tests can substitute a recorded
+ * or synthetic oracle and assert determinism without ever timing
+ * anything.
+ */
+
+#ifndef HEROSIGN_TUNE_TRIAL_RUNNER_HH
+#define HEROSIGN_TUNE_TRIAL_RUNNER_HH
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "service/key_store.hh"
+#include "sphincs/sphincs.hh"
+#include "tune/knob_space.hh"
+
+namespace herosign::tune
+{
+
+/** What one trial of one candidate config measured. */
+struct TrialMeasurement
+{
+    double opsPerSec = 0; ///< completed requests/s, both planes
+    double p50Ms = 0;     ///< median request latency
+    double p99Ms = 0;     ///< tail request latency
+    uint64_t ops = 0;     ///< requests completed in the trial
+    double wallMs = 0;    ///< trial wall time actually spent
+};
+
+/** The measurement oracle a Search drives. */
+class TrialRunner
+{
+  public:
+    virtual ~TrialRunner() = default;
+
+    /** Run one bounded trial of @p cfg and report what it measured. */
+    virtual TrialMeasurement measure(const KnobConfig &cfg) = 0;
+};
+
+/** Workload shape for FabricTrialRunner trials. */
+struct FabricWorkload
+{
+    unsigned tenants = 4;      ///< distinct keys in the store
+    unsigned producers = 2;    ///< closed-loop client threads
+    double trialSeconds = 0.25; ///< timed duration per trial
+    uint64_t seed = 0x7e57;    ///< message-material seed
+};
+
+/**
+ * The real oracle: mixed sign+verify closed-loop traffic through a
+ * SignService/VerifyService pair built from the candidate config
+ * (shared cache, stats registry and admission controller — the same
+ * fabric shape service_throughput benches). Key material and the
+ * verify pool are generated once at construction; each measure()
+ * builds a fresh fabric, warms every tenant's context untimed, then
+ * times a closed loop per producer.
+ */
+class FabricTrialRunner : public TrialRunner
+{
+  public:
+    FabricTrialRunner(const sphincs::Params &params,
+                      const FabricWorkload &workload = {});
+    ~FabricTrialRunner() override;
+
+    TrialMeasurement measure(const KnobConfig &cfg) override;
+
+    const FabricWorkload &workload() const { return workload_; }
+
+  private:
+    sphincs::Params params_;
+    FabricWorkload workload_;
+    sphincs::SphincsPlus scheme_;
+    service::KeyStore store_;
+    /// Per-tenant (message, valid signature) pairs for the verify
+    /// direction; signed once at construction.
+    std::vector<std::pair<ByteVec, ByteVec>> vpool_;
+};
+
+} // namespace herosign::tune
+
+#endif // HEROSIGN_TUNE_TRIAL_RUNNER_HH

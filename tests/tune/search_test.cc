@@ -1,0 +1,260 @@
+/**
+ * @file
+ * Search: the annealing walk is a pure function of (seed,
+ * measurements) — replaying a recorded trial log reproduces the same
+ * trajectory and the same chosen config — the baseline is always
+ * trial 0, pruning spends one probe on hopeless candidates, the score
+ * cache never re-measures a point, and the plan is sized from the
+ * budget without consulting a clock.
+ */
+
+#include <cmath>
+#include <cstdlib>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tune/search.hh"
+
+using namespace herosign;
+using tune::KnobConfig;
+using tune::KnobSpace;
+using tune::SearchOptions;
+using tune::SearchResult;
+using tune::TrialMeasurement;
+
+namespace
+{
+
+/**
+ * Deterministic synthetic oracle: a smooth peak plus a per-call
+ * wobble, so measurements depend on call order (like a real noisy
+ * host) while staying exactly reproducible.
+ */
+struct FakeRunner : tune::TrialRunner
+{
+    std::vector<KnobConfig> log; ///< every config measured, in order
+    unsigned calls = 0;
+
+    static double
+    landscape(const KnobConfig &c)
+    {
+        double s = 1000.0;
+        s -= 60.0 * std::abs(static_cast<int>(c.signWorkers) - 2);
+        s -= 40.0 * std::abs(static_cast<int>(c.verifyWorkers) - 1);
+        s -= 2.0 * std::abs(static_cast<int>(c.signCoalesce) - 16);
+        s -= 1.0 * std::abs(static_cast<int>(c.verifyCoalesce) - 64);
+        s -= 5.0 * std::abs(static_cast<int>(c.signShards) -
+                            static_cast<int>(c.signWorkers));
+        s -= 0.5 * std::abs(static_cast<int>(c.cacheCapacity) - 16);
+        return s;
+    }
+
+    TrialMeasurement
+    measure(const KnobConfig &cfg) override
+    {
+        log.push_back(cfg);
+        TrialMeasurement m;
+        m.opsPerSec = landscape(cfg) + 0.25 * (calls % 5);
+        m.p50Ms = 1.0;
+        m.p99Ms = 2.0;
+        m.ops = 100;
+        m.wallMs = 10.0;
+        ++calls;
+        return m;
+    }
+};
+
+/**
+ * Serves a previously recorded trial log verbatim, failing the test
+ * if the search ever requests a different config than the recording
+ * — the "same measurements" half of the determinism contract.
+ */
+struct ReplayRunner : tune::TrialRunner
+{
+    const std::vector<KnobConfig> &configs;
+    const std::vector<TrialMeasurement> &results;
+    size_t next = 0;
+
+    ReplayRunner(const std::vector<KnobConfig> &c,
+                 const std::vector<TrialMeasurement> &r)
+        : configs(c), results(r)
+    {
+    }
+
+    TrialMeasurement
+    measure(const KnobConfig &cfg) override
+    {
+        EXPECT_LT(next, configs.size())
+            << "search requested more trials than recorded";
+        if (next < configs.size()) {
+            EXPECT_EQ(cfg, configs[next])
+                << "trial " << next
+                << " diverged from the recorded log";
+        }
+        return results[next < results.size() ? next++ : 0];
+    }
+};
+
+SearchOptions
+fixedOptions(uint64_t seed = 1234)
+{
+    SearchOptions o;
+    o.seed = seed;
+    o.maxTrials = 24;
+    o.medianOf = 3;
+    return o;
+}
+
+} // namespace
+
+TEST(SearchTest, SameSeedSameMeasurementsSameChosenConfig)
+{
+    const KnobSpace space = KnobSpace::standard(4, 16);
+    FakeRunner r1, r2;
+    const SearchResult a = tune::search(space, r1, fixedOptions());
+    const SearchResult b = tune::search(space, r2, fixedOptions());
+
+    EXPECT_EQ(a.bestConfig, b.bestConfig);
+    EXPECT_EQ(a.bestScore, b.bestScore);
+    EXPECT_EQ(a.measurements, b.measurements);
+    ASSERT_EQ(a.trajectory.size(), b.trajectory.size());
+    for (size_t i = 0; i < a.trajectory.size(); ++i) {
+        EXPECT_EQ(a.trajectory[i].config, b.trajectory[i].config);
+        EXPECT_EQ(a.trajectory[i].score, b.trajectory[i].score);
+        EXPECT_EQ(a.trajectory[i].probes, b.trajectory[i].probes);
+        EXPECT_EQ(a.trajectory[i].accepted, b.trajectory[i].accepted);
+    }
+    // The full measurement sequence replays too, not just the result.
+    EXPECT_EQ(r1.log, r2.log);
+}
+
+TEST(SearchTest, ReplayingARecordedTrialLogReproducesTheResult)
+{
+    const KnobSpace space = KnobSpace::standard(4, 16);
+
+    // Record a live run: every measured config and its measurement.
+    FakeRunner live;
+    std::vector<TrialMeasurement> recorded;
+    struct Recorder : tune::TrialRunner
+    {
+        FakeRunner &inner;
+        std::vector<TrialMeasurement> &out;
+        Recorder(FakeRunner &i, std::vector<TrialMeasurement> &o)
+            : inner(i), out(o)
+        {
+        }
+        TrialMeasurement
+        measure(const KnobConfig &cfg) override
+        {
+            out.push_back(inner.measure(cfg));
+            return out.back();
+        }
+    } recorder(live, recorded);
+    const SearchResult first =
+        tune::search(space, recorder, fixedOptions(77));
+
+    // Replay the log through a fresh search with the same seed: the
+    // request sequence must match the recording and the chosen
+    // config must be identical.
+    ReplayRunner replay(live.log, recorded);
+    const SearchResult second =
+        tune::search(space, replay, fixedOptions(77));
+    EXPECT_EQ(second.bestConfig, first.bestConfig);
+    EXPECT_EQ(second.bestScore, first.bestScore);
+    EXPECT_EQ(second.trajectory.size(), first.trajectory.size());
+    EXPECT_EQ(replay.next, live.log.size())
+        << "replay consumed a different number of trials";
+}
+
+TEST(SearchTest, TrialZeroIsTheBaselineAndBestNeverFallsBelowIt)
+{
+    const KnobSpace space = KnobSpace::standard(4, 16);
+    FakeRunner r;
+    const SearchResult res = tune::search(space, r, fixedOptions());
+
+    ASSERT_FALSE(res.trajectory.empty());
+    EXPECT_EQ(res.trajectory[0].config,
+              space.configAt(space.defaultPoint()));
+    EXPECT_GE(res.bestScore, res.trajectory[0].score);
+    for (const auto &t : res.trajectory)
+        EXPECT_GE(res.bestScore, t.score);
+    // On this smooth landscape the walk must find an improvement
+    // over the 4+2-worker baseline.
+    EXPECT_GT(res.bestScore, res.trajectory[0].score);
+}
+
+TEST(SearchTest, BudgetSizesThePlanWithoutAClock)
+{
+    const KnobSpace space = KnobSpace::standard(4, 16);
+    FakeRunner r;
+    SearchOptions o;
+    o.seed = 5;
+    o.maxTrials = 0; // derive from the budget
+    o.budgetSeconds = 30.0;
+    o.trialSecondsHint = 0.5;
+    o.medianOf = 3;
+    const SearchResult res = tune::search(space, r, o);
+    EXPECT_EQ(res.trialsPlanned, 20u); // 30 / (0.5 * 3)
+    EXPECT_LE(res.trajectory.size(), res.trialsPlanned);
+    EXPECT_GE(res.trajectory.size(), 2u);
+}
+
+TEST(SearchTest, PruningSpendsOneProbeOnHopelessCandidates)
+{
+    const KnobSpace space = KnobSpace::standard(4, 16);
+    // A cliff landscape: the baseline region scores 1000, everything
+    // else 100 — every move off the plateau should be pruned after
+    // its first probe.
+    struct CliffRunner : tune::TrialRunner
+    {
+        unsigned calls = 0;
+        TrialMeasurement
+        measure(const KnobConfig &cfg) override
+        {
+            ++calls;
+            TrialMeasurement m;
+            const KnobConfig base;
+            m.opsPerSec =
+                (cfg.signWorkers == base.signWorkers &&
+                 cfg.verifyWorkers == base.verifyWorkers)
+                    ? 1000.0
+                    : 100.0;
+            m.ops = 1;
+            return m;
+        }
+    } r;
+    const SearchResult res = tune::search(space, r, fixedOptions());
+
+    unsigned pruned = 0;
+    for (const auto &t : res.trajectory) {
+        if (t.pruned) {
+            ++pruned;
+            EXPECT_EQ(t.probes, 1u);
+        }
+    }
+    EXPECT_GT(pruned, 0u);
+    // The chosen best stays on the plateau.
+    EXPECT_EQ(res.bestScore, 1000.0);
+}
+
+TEST(SearchTest, ScoreCacheNeverRemeasuresAPoint)
+{
+    const KnobSpace space = KnobSpace::standard(4, 16);
+    FakeRunner r;
+    const SearchResult res = tune::search(space, r, fixedOptions());
+
+    // Every runner call is accounted to exactly one trajectory
+    // record, and no config is evaluated twice.
+    unsigned probes = 0;
+    for (const auto &t : res.trajectory)
+        probes += t.probes;
+    EXPECT_EQ(probes, r.calls);
+    EXPECT_EQ(res.measurements, r.calls);
+    for (size_t i = 0; i < res.trajectory.size(); ++i)
+        for (size_t j = i + 1; j < res.trajectory.size(); ++j)
+            EXPECT_FALSE(res.trajectory[i].config ==
+                         res.trajectory[j].config)
+                << "config measured twice: "
+                << res.trajectory[i].config.label();
+}

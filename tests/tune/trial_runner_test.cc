@@ -1,0 +1,92 @@
+/**
+ * @file
+ * FabricTrialRunner: a short bounded trial against the real mixed
+ * sign+verify fabric yields sane measurements (positive throughput,
+ * ordered percentiles, wall time at least the budget), degenerate
+ * workloads are clamped to something runnable, and back-to-back
+ * trials on the same runner don't interfere.
+ */
+
+#include <gtest/gtest.h>
+
+#include "../batch/batch_test_util.hh"
+#include "tune/trial_runner.hh"
+
+using namespace herosign;
+using batchtest::miniParams;
+using tune::FabricTrialRunner;
+using tune::FabricWorkload;
+using tune::KnobConfig;
+using tune::TrialMeasurement;
+
+namespace
+{
+
+FabricWorkload
+tinyWorkload()
+{
+    FabricWorkload w;
+    w.tenants = 2;
+    w.producers = 2;
+    w.trialSeconds = 0.05;
+    w.seed = 0x7e57;
+    return w;
+}
+
+} // namespace
+
+TEST(FabricTrialRunnerTest, MeasuresTheMixedFabric)
+{
+    FabricTrialRunner runner(miniParams(), tinyWorkload());
+    KnobConfig cfg;
+    cfg.signWorkers = 1;
+    cfg.signShards = 1;
+    cfg.verifyWorkers = 1;
+    cfg.verifyShards = 1;
+    cfg.cacheCapacity = 4;
+    const TrialMeasurement m = runner.measure(cfg);
+
+    EXPECT_GT(m.ops, 0u);
+    EXPECT_GT(m.opsPerSec, 0.0);
+    // The producers run for at least the trial budget.
+    EXPECT_GE(m.wallMs, 0.05 * 1000.0 * 0.9);
+    // Percentiles are recorded in milliseconds and ordered.
+    EXPECT_GT(m.p50Ms, 0.0);
+    EXPECT_GE(m.p99Ms, m.p50Ms);
+    // Throughput is consistent with the op count and wall time
+    // (producers overlap, so ops/s can exceed ops/wall of one lane —
+    // but never the aggregate by more than the producer count).
+    EXPECT_LE(m.opsPerSec,
+              static_cast<double>(m.ops) / (m.wallMs / 1e3) * 1.01);
+}
+
+TEST(FabricTrialRunnerTest, DegenerateWorkloadIsClamped)
+{
+    FabricWorkload w;
+    w.tenants = 0;      // -> 1
+    w.producers = 0;    // -> 1
+    w.trialSeconds = 0; // -> minimum runnable budget
+    FabricTrialRunner runner(miniParams(), w);
+    const TrialMeasurement m = runner.measure(KnobConfig{});
+    EXPECT_GT(m.ops, 0u);
+    EXPECT_GT(m.opsPerSec, 0.0);
+}
+
+TEST(FabricTrialRunnerTest, BackToBackTrialsAreIndependent)
+{
+    FabricTrialRunner runner(miniParams(), tinyWorkload());
+    KnobConfig a; // defaults
+    KnobConfig b;
+    b.signWorkers = 1;
+    b.signShards = 1;
+    b.verifyWorkers = 1;
+    b.verifyShards = 1;
+    const TrialMeasurement ma = runner.measure(a);
+    const TrialMeasurement mb = runner.measure(b);
+    EXPECT_GT(ma.ops, 0u);
+    EXPECT_GT(mb.ops, 0u);
+    // Each trial builds a fresh service pair; the second one is not
+    // poisoned by the first having drained and closed.
+    const TrialMeasurement ma2 = runner.measure(a);
+    EXPECT_GT(ma2.ops, 0u);
+}
